@@ -1,0 +1,29 @@
+# Convenience targets for the reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench examples reproduce all clean
+
+install:
+	$(PYTHON) -m pip install -e .
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+examples:
+	@for f in examples/*.py; do \
+		echo "== $$f =="; \
+		$(PYTHON) $$f > /dev/null || exit 1; \
+	done; echo "all examples ran cleanly"
+
+reproduce:
+	$(PYTHON) examples/reproduce_all.py
+
+all: install test bench examples
+
+clean:
+	rm -rf .pytest_cache .hypothesis build *.egg-info src/*.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

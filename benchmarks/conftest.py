@@ -1,0 +1,24 @@
+"""Shared helpers for the experiment benches.
+
+Every bench regenerates one of the paper's measurement-shaped claims
+(DESIGN.md experiment index) and prints the table/series the paper would
+have reported.  Absolute numbers come from our simulated substrate; the
+asserted properties are the *shapes*: who wins, by roughly what factor,
+where crossovers fall.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def print_table(title: str, rows, headers) -> None:
+    from repro.core.metrics import table
+    print()
+    print(f"== {title} ==")
+    print(table(rows, headers))
+
+
+@pytest.fixture
+def show():
+    return print_table

@@ -1,0 +1,118 @@
+"""Ablation A1 (paper section II): strict memory-locality enforcement.
+
+"we believe a key characteristic shall be the strict enforcement of
+locality, at least for on-chip memory."
+
+Sweep: number of accesses a task performs against a remote 64-word block,
+averaged over all core pairs of a 16-core mesh.  Two disciplines:
+per-access remote loads vs one bulk message transfer + local accesses.
+The crossover is small and the advantage grows with access count and with
+machine size (longer average distances).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.metrics import crossover_point
+from repro.manycore.machine import Machine
+from repro.manycore.memory import LocalityModel, MemoryAccessPlan, locality_sweep
+
+ACCESS_COUNTS = [1, 2, 5, 10, 20, 50, 100, 500]
+BLOCK_WORDS = 64
+
+
+def run_experiment():
+    model = LocalityModel()
+    sweeps = {}
+    for n_cores in (4, 16, 64):
+        sweeps[n_cores] = locality_sweep(Machine(n_cores), model,
+                                         BLOCK_WORDS, ACCESS_COUNTS)
+    return model, sweeps
+
+
+def test_bench_a1_locality(benchmark, show):
+    model, sweeps = benchmark.pedantic(run_experiment, rounds=1,
+                                       iterations=1)
+    sweep16 = sweeps[16]
+    rows = [[count, f"{sweep16[count]['remote']:.0f}",
+             f"{sweep16[count]['enforced_local']:.0f}",
+             f"{sweep16[count]['remote'] / sweep16[count]['enforced_local']:.2f}x"]
+            for count in ACCESS_COUNTS]
+    show("A1: remote access vs enforced locality (16 cores, 64-word block)",
+         rows, ["accesses", "remote cycles", "enforced-local cycles",
+                "locality advantage"])
+
+    # Claim shape 1: a single access favours the direct remote load...
+    assert sweep16[1]["remote"] < sweep16[1]["enforced_local"]
+    # ...but the crossover comes within a handful of accesses.
+    remote_curve = {c: sweep16[c]["enforced_local"] for c in ACCESS_COUNTS}
+    local_better = [c for c in ACCESS_COUNTS
+                    if sweep16[c]["enforced_local"] < sweep16[c]["remote"]]
+    assert min(local_better) <= 10
+    # Claim shape 2: at high reuse, enforced locality wins by >5x.
+    assert sweep16[500]["remote"] / sweep16[500]["enforced_local"] > 5
+    # Claim shape 3: the advantage grows with machine size (distance).
+    def advantage(sweep):
+        return sweep[500]["remote"] / sweep[500]["enforced_local"]
+    assert advantage(sweeps[64]) > advantage(sweeps[16]) > \
+        advantage(sweeps[4])
+
+
+def test_bench_a1_prefetch_strategy(benchmark, show):
+    """Companion (§II short-term strategy): "frequency boosting of cores
+    enhanced with pre-fetching support from space-shared cores" -- helper
+    cores stream remote blocks ahead of a sequential compute core."""
+    from repro.manycore.memory import PrefetchPlan
+
+    def measure():
+        model = LocalityModel()
+        rows = []
+        for helpers in (0, 1, 2, 4):
+            plan = PrefetchPlan(blocks=40, block_words=256,
+                                compute_per_block=80.0, hops=4,
+                                helpers=helpers)
+            rows.append((helpers, plan.time_without_prefetch(model),
+                         plan.time_with_prefetch(model),
+                         plan.speedup(model)))
+        needed = PrefetchPlan(blocks=40, block_words=256,
+                              compute_per_block=80.0, hops=4
+                              ).helpers_to_hide_transfers(model)
+        return rows, needed
+
+    rows, needed = benchmark.pedantic(measure, rounds=1, iterations=1)
+    show("A1c: prefetching helpers for a sequential phase "
+         "(40 blocks x 256 words, 4 hops)",
+         [[h, f"{serial:.0f}", f"{overlapped:.0f}", f"{gain:.2f}x"]
+          for h, serial, overlapped, gain in rows],
+         ["helper cores", "no prefetch", "with prefetch", "speedup"])
+    gains = {h: g for h, _s, _o, g in rows}
+    assert gains[0] == pytest.approx(1.0)
+    assert gains[1] > 1.3
+    assert gains[2] >= gains[1]
+    # Beyond the analytic helper count, speedup saturates at the
+    # compute-bound limit.
+    assert gains[4] == pytest.approx(
+        max(gains.values()), rel=0.01)
+    assert 1 <= needed <= 4
+
+
+def test_bench_a1_crossover_model(benchmark, show):
+    """Companion: analytic crossover vs hop distance."""
+    def measure():
+        model = LocalityModel()
+        rows = []
+        for hops in (1, 2, 4, 8):
+            plan = MemoryAccessPlan(accesses=1, block_words=BLOCK_WORDS,
+                                    hops=hops)
+            rows.append((hops, plan.crossover_accesses(model)))
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    show("A1b: analytic crossover (accesses) vs distance",
+         [[hops, f"{crossover:.1f}"] for hops, crossover in rows],
+         ["hops", "crossover accesses"])
+    crossovers = [crossover for _hops, crossover in rows]
+    # Farther data -> earlier crossover (remote loads hurt more).
+    assert crossovers == sorted(crossovers, reverse=True)
+    assert all(c < 15 for c in crossovers)

@@ -1,0 +1,132 @@
+"""E11 (paper section VII): intrusive debugging perturbs timing and hides
+concurrency bugs (Heisenbugs); the virtual platform reproduces them
+deterministically and non-intrusively.
+
+Workload: the canonical lost-update race -- two cores increment a shared
+counter without taking the hardware semaphore.  Measured: bug magnitude
+(lost updates) free-running, under a VP debugger with watchpoints, and
+under an intrusive hardware probe at increasing intrusion levels.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.vp import Debugger, HardwareProbe, SoC, SoCConfig, Tracer
+
+RACY = """
+    li r1, 100
+    li r2, 0
+    li r3, 25
+loop:
+    lw r6, 0(r1)
+    addi r6, r6, 1
+    sw r6, 0(r1)
+    addi r2, r2, 1
+    blt r2, r3, loop
+    halt
+"""
+
+EXPECTED = 50  # correct counter value: 2 cores x 25 increments
+LOOP_LW_PC = 3
+
+
+def build():
+    return SoC(SoCConfig(n_cores=2), {0: RACY, 1: RACY})
+
+
+def lost_updates(soc) -> int:
+    return EXPECTED - soc.mem(100)
+
+
+def run_experiment():
+    results = {}
+
+    # Free-running, repeated: deterministic reproduction.
+    free_values = []
+    for _ in range(5):
+        soc = build()
+        soc.run()
+        free_values.append(lost_updates(soc))
+    results["free"] = free_values
+
+    # Under the (non-intrusive) VP debugger with a memory watchpoint.
+    soc = build()
+    debugger = Debugger(soc)
+    debugger.add_watchpoint("write", 100)
+    hits = 0
+    while True:
+        reason = debugger.run()
+        if reason.kind in ("halted", "idle"):
+            break
+        hits += 1
+    results["vp_debug"] = (lost_updates(soc), hits)
+
+    # Under intrusive probes of growing stall cost.
+    probe_rows = []
+    for stall in (0.0, 3.0, 13.0, 47.0, 200.0):
+        soc = build()
+        if stall > 0:
+            probe = HardwareProbe(soc, core_id=0, breakpoint_stall=stall)
+            probe.add_breakpoint(LOOP_LW_PC)
+        soc.run()
+        probe_rows.append((stall, lost_updates(soc)))
+    results["probed"] = probe_rows
+    return results
+
+
+def test_bench_e11_heisenbug(benchmark, show):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    free = results["free"]
+    vp_lost, vp_hits = results["vp_debug"]
+    rows = [["free run (x5)", ", ".join(str(v) for v in free)],
+            ["VP debugger (watchpoint)", str(vp_lost)]]
+    rows += [[f"HW probe, stall={stall:g}", str(lost)]
+             for stall, lost in results["probed"]]
+    show(f"E11: lost updates out of {EXPECTED} increments", rows,
+         ["debug method", "lost updates"])
+
+    # Claim shape 1: the bug reproduces, identically, on every VP run.
+    assert all(v == free[0] for v in free)
+    assert free[0] > 0
+    # Claim shape 2: the VP debugger observes every write without changing
+    # the outcome at all (non-intrusive).
+    assert vp_lost == free[0]
+    assert vp_hits >= EXPECTED - free[0]
+    # Claim shape 3: the intrusive probe changes the outcome (Heisenbug);
+    # a heavy stall makes the bug shrink or vanish entirely.
+    perturbed = [lost for stall, lost in results["probed"] if stall > 0]
+    assert any(lost != free[0] for lost in perturbed)
+    heavy = dict(results["probed"])[200.0]
+    assert heavy < free[0]
+
+
+def test_bench_e11_interleaving_evidence(benchmark, show):
+    """Companion: the VP's trace pinpoints the root cause -- interleaved
+    read-modify-write sequences on the shared address -- which is exactly
+    the evidence an engineer needs for phase 4 (root cause)."""
+    def measure():
+        soc = build()
+        tracer = Tracer(soc)
+        soc.run()
+        accesses = tracer.accesses_to(100)
+        # Count read-read adjacencies (two loads before either store):
+        # each is one lost update in the making.
+        interleavings = 0
+        last = None
+        for event in accesses:
+            op = (event.detail["master"], event.detail["op"])
+            if last is not None and last[1] == "read" and op[1] == "read" \
+                    and last[0] != op[0]:
+                interleavings += 1
+            last = op
+        return interleavings, len(accesses)
+
+    interleavings, total = benchmark.pedantic(measure, rounds=1,
+                                              iterations=1)
+    show("E11b: trace evidence",
+         [["shared-address accesses traced", total],
+          ["cross-core read-read interleavings", interleavings]],
+         ["metric", "count"])
+    assert interleavings > 0
+    assert total == EXPECTED * 2  # every lw and sw captured

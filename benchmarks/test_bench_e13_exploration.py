@@ -1,0 +1,81 @@
+"""E13 (paper section V, stated future work): "exploration of optimal
+target architecture" over a fixed CIC application.
+
+Because CIC separates the application from the architecture file, the
+explorer just sweeps candidate architecture files (1-4 SMP CPUs; host +
+1-4 accelerators) over the unchanged app and reports the Pareto front of
+(hardware cost, end-to-end time).  Retargetability makes the sweep
+trivially sound: every point computes the identical output stream.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hopes import (
+    CICApplication, CICTask, cell_candidates, explore_architectures,
+    smp_candidates,
+)
+
+
+def streaming_app():
+    """A compute-heavy 4-stage stream app that benefits from more PEs."""
+    app = CICApplication("stream")
+    app.add_task(CICTask("gen", """
+        int n;
+        int task_go() { write_port(0, n % 97); n += 1; return 0; }
+        """, out_ports=["o"], data_words=32))
+    for index, flavour in enumerate(("fir", "iir")):
+        app.add_task(CICTask(flavour, f"""
+            int task_go() {{
+              int v; int i; int s;
+              v = read_port(0);
+              s = v;
+              for (i = 0; i < 60; i++) {{ s = (s * 3 + i + {index}) % 251; }}
+              write_port(0, s);
+              return 0;
+            }}
+            """, in_ports=["i"], out_ports=["o"], data_words=96))
+    app.add_task(CICTask("sink", """
+        int task_go() { emit(read_port(0)); return 0; }
+        """, in_ports=["i"], data_words=16))
+    app.connect("gen", "o", "fir", "i")
+    app.connect("fir", "o", "iir", "i")
+    app.connect("iir", "o", "sink", "i")
+    return app
+
+
+def run_experiment():
+    candidates = smp_candidates(4) + cell_candidates(4)
+    return explore_architectures(streaming_app, candidates, iterations=24)
+
+
+def test_bench_e13_architecture_exploration(benchmark, show):
+    result = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    pareto_names = {p.label for p in result.pareto}
+    show("E13: architecture exploration over one CIC app (24 iterations)",
+         [[p.label, f"{p.hardware_cost:.1f}", f"{p.end_time:.0f}",
+           "*" if p.label in pareto_names else ""]
+          for p in sorted(result.points, key=lambda p: p.hardware_cost)],
+         ["architecture", "HW cost", "end time", "Pareto"])
+
+    # Claim shape 1: the sweep covers the space and nothing crashed.
+    assert len(result.points) == 8
+    assert not result.infeasible
+    # Claim shape 2: retargetability across the whole space -- every
+    # candidate computes the identical stream.
+    streams = {tuple(p.report.output_of("sink")) for p in result.points}
+    assert len(streams) == 1
+    # Claim shape 3: the front is a real trade-off (>= 2 points, spanning
+    # cheap-slow to expensive-fast).
+    assert len(result.pareto) >= 2
+    cheapest = min(result.pareto, key=lambda p: p.hardware_cost)
+    fastest = min(result.pareto, key=lambda p: p.end_time)
+    assert cheapest.hardware_cost < fastest.hardware_cost
+    assert fastest.end_time < cheapest.end_time
+    # Claim shape 4: adding PEs helps this pipelined app up to its depth.
+    smp = {p.label: p.end_time for p in result.points
+           if p.label.startswith("smp")}
+    assert smp["smp2"] < smp["smp1"]
+    # Budget queries work.
+    assert result.best_under_cost(1e9).end_time == fastest.end_time

@@ -1,0 +1,67 @@
+"""E1 (paper section II): homogeneous-ISA many-cores scale near-linearly;
+a-priori heterogeneous partitioning inhibits scalability.
+
+Workload: one fully parallel app of fixed total work, spread over n
+threads on n cores.  Homogeneous machine: any thread anywhere.
+Heterogeneous machine: 50/50 ISA split, but the *functionality* was
+partitioned a priori 75/25 -- the misfit caps the speedup at ~2/3 n.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.metrics import speedup_curve, summarize_speedups
+from repro.manycore.machine import Machine
+from repro.manycore.os_scheduler import AppSpec, run_time_shared
+
+WORK = 960.0
+CORE_COUNTS = [1, 2, 4, 8, 16, 32]
+
+
+def scaling_row(n: int):
+    homo = Machine.homogeneous(n)
+    app_homo = AppSpec("app", work=WORK, threads=n)
+    time_homo = run_time_shared(homo, [app_homo], quantum=4.0,
+                                ctx_overhead=0.0).makespan
+    if n < 2:
+        # A single core cannot be ISA-partitioned; hetero == homo there.
+        return time_homo, time_homo
+    hetero = Machine.heterogeneous(n, {"isaA": 0.5, "isaB": 0.5})
+    n_a = max(1, (3 * n) // 4)
+    isas = ["isaA"] * n_a + ["isaB"] * (n - n_a)
+    app_het = AppSpec("app", work=WORK, threads=n, thread_isas=isas)
+    time_het = run_time_shared(hetero, [app_het], quantum=4.0,
+                               ctx_overhead=0.0).makespan
+    return time_homo, time_het
+
+
+def run_experiment():
+    homo_times = {}
+    het_times = {}
+    for n in CORE_COUNTS:
+        time_homo, time_het = scaling_row(n)
+        homo_times[n] = time_homo
+        het_times[n] = time_het
+    baseline = homo_times[1]
+    return (speedup_curve(baseline, homo_times),
+            speedup_curve(baseline, het_times))
+
+
+def test_bench_e1_scaling(benchmark, show):
+    homo, hetero = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    rows = [[n, f"{homo[n]:.2f}", f"{hetero[n]:.2f}",
+             f"{homo[n] / hetero[n]:.2f}x"]
+            for n in CORE_COUNTS]
+    show("E1: speedup vs cores (homogeneous vs a-priori heterogeneous)",
+         rows, ["cores", "homogeneous", "heterogeneous", "homo advantage"])
+
+    summary = summarize_speedups(homo)
+    # Claim shape 1: homogeneous scales near-linearly (>=90% efficiency).
+    assert summary["parallel_efficiency_at_max"] >= 0.9
+    # Claim shape 2: heterogeneous partitioning inhibits scalability -- the
+    # 75/25-on-50/50 misfit caps efficiency around 2/3.
+    het_summary = summarize_speedups(hetero)
+    assert het_summary["parallel_efficiency_at_max"] <= 0.75
+    # Claim shape 3: the gap grows with core count.
+    assert homo[32] / hetero[32] > homo[4] / hetero[4] * 0.99

@@ -1,0 +1,79 @@
+"""E5 (paper section III / ref [5]): design-time buffer capacities admit a
+wait-free periodic source/sink schedule.
+
+Workload: a CSDF-flavoured stream pipeline with a rate-changing stage.
+The bench computes minimal buffer capacities for the graph's maximal
+throughput, then sweeps the source/sink period across the analytic bound
+(1/throughput): wait-free existence must flip exactly at the bound, and
+shrinking any buffer below the computed minimum must break the wait-free
+property at the boundary period.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataflow import (
+    SDFGraph, check_wait_free_schedule, max_cycle_ratio,
+    minimal_buffer_sizes, throughput_self_timed,
+)
+
+
+def build_graph():
+    graph = SDFGraph("radio")
+    graph.add_actor("src", 1.0)
+    graph.add_actor("fir", 2.0)
+    graph.add_actor("dec", 1.5)
+    graph.add_actor("post", 1.0)
+    graph.add_actor("snk", 0.5)
+    graph.connect("src", "fir", 1, 1)
+    graph.connect("fir", "dec", 2, 4)
+    graph.connect("dec", "post", 1, 1)
+    graph.connect("post", "snk", 1, 1)
+    return graph
+
+
+def run_experiment():
+    graph = build_graph()
+    throughput = throughput_self_timed(graph)
+    mcr, _ = max_cycle_ratio(graph)
+    sizing = minimal_buffer_sizes(graph)
+    bounded = graph.with_capacities(sizing.capacities)
+    bound_period = 1.0 / throughput
+    sweep = []
+    for factor in (0.9, 0.97, 1.0, 1.05, 1.3, 2.0):
+        period = bound_period * factor
+        verdict = check_wait_free_schedule(bounded, "src", "snk", period)
+        sweep.append((factor, period, verdict.exists))
+    return throughput, mcr, sizing, sweep
+
+
+def test_bench_e5_buffers(benchmark, show):
+    throughput, mcr, sizing, sweep = benchmark.pedantic(
+        run_experiment, rounds=1, iterations=1)
+    show("E5: buffer capacities and wait-free schedule existence",
+         [[f"{factor:.2f}", f"{period:.2f}", "yes" if ok else "no"]
+          for factor, period, ok in sweep],
+         ["period / bound", "period", "wait-free schedule exists"])
+    show("E5: computed capacities",
+         [[name, cap] for name, cap in sorted(sizing.capacities.items())],
+         ["edge", "capacity (tokens)"])
+
+    # Claim shape 1: analytic bound agrees with measured throughput.
+    assert 1.0 / mcr == pytest.approx(throughput, rel=1e-3)
+    # Claim shape 2: existence flips exactly at the bound.
+    verdicts = {factor: ok for factor, _, ok in sweep}
+    assert not verdicts[0.9] and not verdicts[0.97]
+    assert verdicts[1.0] and verdicts[1.3] and verdicts[2.0]
+    # Claim shape 3: the capacities are minimal -- decrementing any one of
+    # them breaks wait-freedom at the bound.
+    graph = build_graph()
+    bound_period = 1.0 / throughput
+    for name, capacity in sizing.capacities.items():
+        if capacity <= 1:
+            continue
+        shrunk = dict(sizing.capacities)
+        shrunk[name] -= 1
+        verdict = check_wait_free_schedule(
+            graph.with_capacities(shrunk), "src", "snk", bound_period)
+        assert not verdict.exists, f"capacity of {name} was not minimal"

@@ -1,0 +1,77 @@
+"""E8 (paper section IV): OSIP -- a task-dispatching ASIP -- lowers
+task-switching overhead versus an additional RISC performing scheduling,
+enabling high PE utilization with fine-grained tasks.
+
+Sweep: task granularity (cycles per task) at constant total work, on an
+8-worker task farm, under a RISC software scheduler (300 cycles/dispatch)
+and the OSIP hardware scheduler (25 cycles/dispatch).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.metrics import crossover_point
+from repro.maps.osip import (
+    OsipModel, RiscSchedulerModel, task_farm_utilization, utilization_curve,
+)
+
+GRAINS = [25, 50, 100, 250, 500, 1000, 5000, 20000]
+WORKERS = 8
+TOTAL_WORK = 400_000.0
+
+
+def run_experiment():
+    risc = utilization_curve(RiscSchedulerModel(), WORKERS, GRAINS,
+                             TOTAL_WORK)
+    osip = utilization_curve(OsipModel(), WORKERS, GRAINS, TOTAL_WORK)
+    return risc, osip
+
+
+def test_bench_e8_osip(benchmark, show):
+    risc, osip = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    rows = [[g, f"{risc[g]:.2f}", f"{osip[g]:.2f}",
+             f"{osip[g] / risc[g]:.1f}x"] for g in GRAINS]
+    show(f"E8: PE utilization vs task granularity "
+         f"({WORKERS} workers, RISC=300cyc vs OSIP=25cyc dispatch)",
+         rows, ["task cycles", "RISC sched", "OSIP", "OSIP advantage"])
+
+    # Claim shape 1: at fine grain OSIP keeps PEs busy where the RISC
+    # scheduler collapses (>=3x utilization advantage at 100-cycle tasks).
+    assert osip[100] > 3 * risc[100]
+    # Claim shape 2: OSIP sustains >=70% utilization down to 250-cycle
+    # tasks; the RISC scheduler needs ~10x coarser tasks for the same.
+    assert osip[250] >= 0.70
+    risc_ok = [g for g in GRAINS if risc[g] >= 0.70]
+    assert min(risc_ok) >= 2500 / 2  # ~10x coarser (>=1000 in our sweep)
+    # Claim shape 3: at very coarse grain the two converge (dispatch
+    # amortized away) -- OSIP is about enabling FINE grain, not free speed.
+    assert abs(osip[20000] - risc[20000]) < 0.1
+    # Claim shape 4: utilization is monotone in grain while dispatch
+    # dominates (the coarsest point dips slightly from load imbalance:
+    # 20 tasks do not divide evenly over 8 workers).
+    dispatch_bound = [g for g in GRAINS if g <= 5000]
+    values = [risc[g] for g in dispatch_bound]
+    assert values == sorted(values)
+
+
+def test_bench_e8_dispatch_latency_detail(benchmark, show):
+    """Companion: makespan decomposition at the fine-grain point."""
+    def measure():
+        risc = task_farm_utilization(RiscSchedulerModel(), WORKERS, 100,
+                                     int(TOTAL_WORK // 100))
+        osip = task_farm_utilization(OsipModel(), WORKERS, 100,
+                                     int(TOTAL_WORK // 100))
+        return risc, osip
+
+    risc, osip = benchmark.pedantic(measure, rounds=1, iterations=1)
+    show("E8b: 100-cycle task farm detail",
+         [["RISC", f"{risc.makespan:.0f}", f"{risc.ideal_makespan:.0f}",
+           f"{risc.utilization:.2f}"],
+          ["OSIP", f"{osip.makespan:.0f}", f"{osip.ideal_makespan:.0f}",
+           f"{osip.utilization:.2f}"]],
+         ["scheduler", "makespan", "ideal", "utilization"])
+    # The RISC dispatcher serializes: makespan ~= n_tasks * dispatch.
+    assert risc.makespan >= risc.n_tasks * 300 * 0.99
+    # OSIP stays near the ideal parallel makespan.
+    assert osip.makespan <= risc.makespan / 4

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Time-triggered vs data-driven execution of a car-radio pipeline
+(paper section III, the Hijdra position).
+
+Three parts:
+1. design-time analysis on the CSDF model -- throughput bound, minimal
+   buffer capacities, wait-free schedule existence for the periodic
+   source/sink;
+2. both executives under *reliable* WCET estimates: both clean;
+3. both executives under *unreliable* estimates (10% of jobs overrun):
+   the time-triggered system corrupts data inside the application, the
+   data-driven system does not.
+
+Run:  python examples/carradio_datadriven.py
+"""
+
+from repro.dataflow import (
+    SDFGraph, check_wait_free_schedule, max_cycle_ratio,
+    minimal_buffer_sizes,
+)
+from repro.rt import (
+    PipelineSpec, make_jitter_fn, run_data_driven, run_time_triggered,
+)
+
+STAGES = ["tuner", "demod", "decode", "equalize", "dac"]
+ESTIMATE = 2.0
+PERIOD = 12.0
+
+
+def main() -> None:
+    print("Part 1: design-time dataflow analysis")
+    graph = SDFGraph("carradio")
+    for stage in STAGES:
+        graph.add_actor(stage, ESTIMATE)
+    for src, dst in zip(STAGES, STAGES[1:]):
+        graph.connect(src, dst, 1, 1)
+    mcr, critical = max_cycle_ratio(graph)
+    print(f"   throughput bound: 1/{mcr:g} iterations per cycle "
+          f"(min period {mcr:g})")
+    sizing = minimal_buffer_sizes(graph)
+    print(f"   minimal buffer capacities: {sizing.capacities}")
+    bounded = graph.with_capacities(sizing.capacities)
+    verdict = check_wait_free_schedule(bounded, "tuner", "dac",
+                                       period=PERIOD)
+    print(f"   wait-free source/sink at period {PERIOD:g}: "
+          f"{verdict.exists} ({verdict.details})\n")
+
+    def build(p_overrun):
+        spec = PipelineSpec(period=PERIOD, name="carradio")
+        for index, stage in enumerate(STAGES):
+            fn = make_jitter_fn(ESTIMATE, p_overrun, overrun_factor=1.6,
+                                seed=3 + index)
+            spec.add_stage(stage, ESTIMATE, fn)
+        return spec
+
+    print("Part 2: reliable WCET estimates (no overruns), 200 samples")
+    tt = run_time_triggered(build(0.0), jobs=200)
+    dd = run_data_driven(build(0.0), jobs=200, fifo_capacity=2)
+    print(f"   time-triggered: {tt.delivered_ok}/200 ok, "
+          f"{tt.internal_corruptions} internal corruptions")
+    print(f"   data-driven:    {dd.delivered_ok}/200 ok, "
+          f"{dd.internal_corruptions} internal corruptions\n")
+
+    print("Part 3: UNRELIABLE estimates (10% of jobs take 1.6x WCET)")
+    tt = run_time_triggered(build(0.1), jobs=200)
+    dd = run_data_driven(build(0.1), jobs=200, fifo_capacity=2)
+    print(f"   time-triggered: {tt.delivered_ok}/200 ok")
+    print(f"      stale re-reads (same data read again): "
+          f"{tt.duplicates_internal}")
+    print(f"      unread overwrites (data destroyed):    "
+          f"{tt.overwrites_internal}")
+    print(f"   data-driven:    {dd.delivered_ok}/200 ok")
+    print(f"      internal corruptions: {dd.internal_corruptions}")
+    print(f"      boundary effects only: {dd.source_drops} source drops, "
+          f"{dd.sink_misses} sink misses")
+    print()
+    print("Conclusion (the paper's): a data-driven approach puts less")
+    print("constraints on the application software than a time-triggered")
+    print("approach -- overruns surface only at the robust source/sink")
+    print("boundary, never as corrupted data inside the application.")
+
+
+if __name__ == "__main__":
+    main()

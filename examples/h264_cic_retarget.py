@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""The HOPES/CIC flow: one H.264-like spec, two targets (Figure 2).
+
+"From the same CIC specification, we also generated a parallel program for
+an MPCore processor ... which confirms the retargetability of the CIC
+model."  This example writes the CIC tasks once, describes two opposed
+architectures in XML, translates for both, runs both, and diffs.
+
+Run:  python examples/h264_cic_retarget.py
+"""
+
+from repro.hopes import CICApplication, CICTask, CICTranslator, parse_arch_xml
+
+MPCORE_XML = """
+<architecture name="mpcoresim" model="shared">
+  <processor name="cpu0" type="smp" freq="1.0"/>
+  <processor name="cpu1" type="smp" freq="1.0"/>
+  <processor name="cpu2" type="smp" freq="1.0"/>
+  <processor name="cpu3" type="smp" freq="1.0"/>
+  <interconnect kind="bus" setup="12" per_word="0.25"/>
+</architecture>
+"""
+
+CELL_XML = """
+<architecture name="cellsim" model="distributed">
+  <processor name="ppe" type="host" freq="1.0"/>
+  <processor name="spe0" type="accel" freq="2.0" local_store="2048"/>
+  <processor name="spe1" type="accel" freq="2.0" local_store="2048"/>
+  <processor name="spe2" type="accel" freq="2.0" local_store="2048"/>
+  <interconnect kind="dma" setup="60" per_word="0.5"/>
+</architecture>
+"""
+
+
+def build_encoder() -> CICApplication:
+    app = CICApplication("h264")
+    app.add_task(CICTask("camera", """
+        int frame;
+        int task_go() {
+          write_port(0, frame * 16 % 256);
+          frame = frame + 1;
+          return 0;
+        }
+        """, out_ports=["raw"], data_words=256))
+    app.add_task(CICTask("motion_est", """
+        int task_go() {
+          int cur; int ref; int mv; int best;
+          cur = read_port(0);
+          ref = read_port(1);
+          best = abs(cur - ref);
+          mv = best % 17 - 8;
+          write_port(0, cur - ref + mv);
+          return 0;
+        }
+        """, in_ports=["cur", "ref"], out_ports=["residual"],
+        data_words=512))
+    app.add_task(CICTask("transform_q", """
+        int task_go() {
+          int r; int c; int q;
+          r = read_port(0);
+          c = r * 13 - r / 2;
+          q = c / 8;
+          write_port(0, q);
+          write_port(1, q * 8 / 13);
+          return 0;
+        }
+        """, in_ports=["residual"], out_ports=["coeff", "recon"],
+        data_words=256))
+    app.add_task(CICTask("entropy", """
+        int bits;
+        int task_go() {
+          int q;
+          q = read_port(0);
+          bits = bits + abs(q) % 32 + 1;
+          write_port(0, bits);
+          return 0;
+        }
+        """, in_ports=["coeff"], out_ports=["stream"], data_words=128))
+    app.add_task(CICTask("sink", """
+        int task_go() { emit(read_port(0)); return 0; }
+        """, in_ports=["in"], data_words=16))
+    app.connect("camera", "raw", "motion_est", "cur", token_words=64)
+    app.connect("transform_q", "recon", "motion_est", "ref",
+                token_words=64, initial_tokens=[0])
+    app.connect("motion_est", "residual", "transform_q", "residual",
+                token_words=64)
+    app.connect("transform_q", "coeff", "entropy", "coeff", token_words=32)
+    app.connect("entropy", "stream", "sink", "in", token_words=8)
+    return app
+
+
+def main() -> None:
+    frames = 20
+    print("One CIC spec: 5 tasks, 5 channels "
+          "(incl. a reconstructed-frame feedback loop)\n")
+
+    results = {}
+    for label, xml in (("MPCore (shared memory)", MPCORE_XML),
+                       ("Cell (distributed, DMA)", CELL_XML)):
+        translator = CICTranslator(build_encoder(), parse_arch_xml(xml))
+        generated = translator.translate()
+        report = generated.run(iterations=frames)
+        results[label] = (generated, report)
+        print(f"-- {label} --")
+        print(f"   mapping:          {generated.mapping}")
+        print(f"   end time:         {report.end_time:.0f} cycles")
+        print(f"   transfer cycles:  {report.transfer_cycles:.0f}")
+        print(f"   bitstream tail:   ...{report.output_of('sink')[-4:]}")
+        print()
+
+    (gen_a, rep_a), (gen_b, rep_b) = results.values()
+    identical = rep_a.output_of("sink") == rep_b.output_of("sink")
+    changed = sum(1 for t in gen_a.task_sources
+                  if gen_a.task_sources[t] != gen_b.task_sources[t])
+    print(f"bitstreams identical across targets: {identical}")
+    print(f"task-code changes needed to retarget: {changed} lines")
+
+    print("\nGenerated glue for one Cell SPE (excerpt):")
+    spe_sources = [p for p in gen_b.glue_sources if p.startswith("spe")]
+    excerpt = "\n".join(
+        gen_b.glue_sources[spe_sources[0]].splitlines()[:10])
+    print("   " + excerpt.replace("\n", "\n   "))
+    print("   ...")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Debugging with a virtual platform: a complete Heisenbug hunt
+(paper section VII).
+
+The paper's four-phase structured debugging process, executed for real:
+(1) trigger/recognize the defect, (2) reproduce it, (3) locate the
+symptom, (4) locate and remove the root cause -- first showing why an
+intrusive hardware probe fails at phase 2, then doing it properly with
+the virtual platform's watchpoints, traces and scripted assertions.
+
+Run:  python examples/heisenbug_hunt.py
+"""
+
+from repro.vp import Debugger, HardwareProbe, SoC, SoCConfig, Tracer
+from repro.vp.script import DebugScriptEngine
+
+RACY = """
+    li r1, 100        ; shared counter address
+    li r2, 0
+    li r3, 25
+loop:
+    lw r6, 0(r1)      ; read-modify-write without the semaphore: THE BUG
+    addi r6, r6, 1
+    sw r6, 0(r1)
+    addi r2, r2, 1
+    blt r2, r3, loop
+    halt
+"""
+
+FIXED = """
+    li r1, 100
+    li r2, 0
+    li r3, 25
+    li r4, 0x8000     ; hardware semaphore bank
+loop:
+acq:
+    lw r5, 0(r4)      ; read-to-acquire
+    bne r5, r0, acq
+    lw r6, 0(r1)
+    addi r6, r6, 1
+    sw r6, 0(r1)
+    sw r0, 0(r4)      ; release
+    addi r2, r2, 1
+    blt r2, r3, loop
+    halt
+"""
+
+
+def build(asm):
+    return SoC(SoCConfig(n_cores=2), {0: asm, 1: asm})
+
+
+def main() -> None:
+    print("Phase 1: trigger and recognize the defect")
+    soc = build(RACY)
+    soc.run()
+    print(f"   expected counter 50, got {soc.mem(100)} "
+          f"-> {50 - soc.mem(100)} updates lost\n")
+
+    print("Phase 2a: try to reproduce with an intrusive hardware probe")
+    for stall in (13.0, 200.0):
+        soc = build(RACY)
+        probe = HardwareProbe(soc, core_id=0, breakpoint_stall=stall)
+        probe.add_breakpoint(3)  # halt core0 at the racy lw
+        soc.run()
+        print(f"   probe stall {stall:>5g} cycles: counter = "
+              f"{soc.mem(100)}  <- behaviour changed: Heisenbug!")
+    print()
+
+    print("Phase 2b: reproduce on the virtual platform (non-intrusive)")
+    values = []
+    for _ in range(3):
+        soc = build(RACY)
+        soc.run()
+        values.append(soc.mem(100))
+    print(f"   three VP runs: {values} -- bit-identical every time\n")
+
+    print("Phase 3: locate the symptom with a watchpoint + system suspend")
+    soc = build(RACY)
+    debugger = Debugger(soc)
+    debugger.add_watchpoint("write", 100)
+    reason = debugger.run()
+    snapshot = debugger.system_snapshot()
+    print(f"   suspended: {reason.detail} at t={reason.time}")
+    print(f"   core pcs at suspension: "
+          f"{[c['pc'] for c in snapshot['cores']]}")
+    print(f"   whole system frozen -- every register/peripheral "
+          f"consistent\n")
+
+    print("Phase 4: locate the root cause with the trace")
+    soc = build(RACY)
+    tracer = Tracer(soc)
+    soc.run()
+    accesses = tracer.accesses_to(100)[:6]
+    for event in accesses:
+        detail = event.detail
+        print(f"   t={event.time:>5g}  {detail['master']:>6} "
+              f"{detail['op']:<5} [100] = {detail['value']}")
+    print("   ^ two loads before either store: a lost update in flight\n")
+
+    print("Fix and verify -- with a scripted assertion, no code changes")
+    soc = build(FIXED)
+    engine = DebugScriptEngine(soc)
+    engine.execute("""
+    assert mem(100) <= 50 :: counter overshot
+    run
+    print mem(100)
+    """)
+    print(f"   fixed firmware: counter = {soc.mem(100)} (expected 50)")
+    print(f"   assertion violations during the whole run: "
+          f"{len(engine.violations)}")
+    print(f"   semaphore contention observed: "
+          f"{soc.semaphores.acquire_attempts[0]} acquire attempts, "
+          f"{soc.semaphores.acquire_successes[0]} successes")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""A designer-controlled recoding session (paper section VI, Figure 3).
+
+Replays the paper's transformation story on an image-filter kernel: the
+designer splits a loop into partitions, analyzes shared data accesses,
+splits the shared vector, localizes accesses, recodes a pointer, and
+prunes control structure -- every step validated against the interpreter,
+every step undoable, document and AST always in sync.
+
+Run:  python examples/recoder_session.py
+"""
+
+from repro.cir.analysis.dependence import analyze_loop, find_loops
+from repro.recoder import (
+    RecoderSession, analyze_shared_accesses, localize_accesses,
+    productivity_gain, prune_control, recode_pointers, split_loop,
+    split_shared_vector,
+)
+
+SOURCE = """int src[256];
+int dst[256];
+int main() {
+    int i;
+    int acc;
+    int *p = &src[0];
+    acc = 0;
+    for (i = 0; i < 256; i++) { *(p + i) = (i * 29 + 3) % 255; }
+    for (i = 0; i < 256; i++) { dst[i] = src[i] * 3 + src[i] / 4; }
+    for (i = 0; i < 256; i++) {
+        if (1) { acc = acc + dst[i]; } else { acc = 0; }
+    }
+    return acc;
+}
+"""
+
+
+def show_step(step, session):
+    print(f"   -> document now {session.document.line_count} lines, "
+          f"version {session.document.version} ({step})")
+
+
+def main() -> None:
+    session = RecoderSession(SOURCE)
+    print("Initial model parses and runs; baseline recorded by the "
+          "session.\n")
+
+    print("Step 1: pointer recoding (enhance analyzability)")
+    report = session.apply(recode_pointers, "main")
+    print(f"   {report.description}")
+    loop = find_loops(session.ast.function("main").body)[0]
+    print(f"   first loop is now provably "
+          f"{analyze_loop(loop).classification.value}")
+    show_step("pointer recoding", session)
+
+    print("\nStep 2: prune control structure")
+    report = session.apply(prune_control, "main")
+    print(f"   {report.description}")
+    show_step("control pruning", session)
+
+    print("\nStep 3: analyze shared data accesses")
+    shared = analyze_shared_accesses(session.ast, "main")
+    arrays = {name: lines for name, lines in shared.shared.items()
+              if name in ("src", "dst")}
+    print(f"   shared arrays across partitions: {arrays}")
+
+    print("\nStep 4: split the filter loop into 4 partitions")
+    loops = find_loops(session.ast.function("main").body)
+    report = session.apply(split_loop, "main", loops[1].line, 4)
+    print(f"   {report.description}")
+    show_step("loop split", session)
+
+    print("\nStep 5: split the shared vector 'src' per partition "
+          "(with copy-in)")
+    loops = find_loops(session.ast.function("main").body)
+    chunk_lines = [lp.line for lp in loops[1:5]]
+    report = session.apply(split_shared_vector, "main", "src", chunk_lines,
+                           copy_back=True)
+    print(f"   {report.description}")
+    show_step("vector split", session)
+
+    print("\nStep 6: localize repeated reads in the partitions")
+    hoisted = 0
+    for loop in find_loops(session.ast.function("main").body):
+        report = session.apply(localize_accesses, "main", loop.line)
+        if report.nodes_changed:
+            hoisted += report.nodes_changed
+            print(f"   loop at line {loop.line}: {report.description}")
+            break  # regeneration renumbered lines; one partition suffices
+    print(f"   array reads replaced by locals: {hoisted}")
+    show_step("localization", session)
+
+    print("\nEvery step was behaviour-checked by the session "
+          "(interpreter differential).")
+    stats = productivity_gain(session, SOURCE)
+    print(f"\nEffort accounting: {stats.manual_keystrokes} keystrokes if "
+          f"done by hand,")
+    print(f"vs {len(session.invocations)} tool invocations "
+          f"(~{stats.tool_keystrokes:.0f} keystroke-equivalents): "
+          f"{stats.gain:.0f}x productivity gain.")
+
+    print("\nFinal model (first 24 lines):")
+    for line in session.text.splitlines()[:24]:
+        print(f"   {line}")
+    print("   ...")
+
+    print("\nAnd one undo returns to the previous state:")
+    session.undo()
+    print(f"   document back to version {session.document.version}, "
+          f"{session.document.line_count} lines")
+
+
+if __name__ == "__main__":
+    main()

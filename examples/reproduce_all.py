@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Regenerate every table in EXPERIMENTS.md in one command.
+
+Runs the complete benchmark harness with table output enabled, then the
+full unit-test suite.  Exit code is non-zero if any experiment's asserted
+shape (who wins, by what factor, where the crossover falls) no longer
+holds.
+
+Run:  python examples/reproduce_all.py [--quick]
+"""
+
+import subprocess
+import sys
+
+
+def main() -> int:
+    quick = "--quick" in sys.argv
+    print("=" * 70)
+    print("Reproducing every experiment (benchmarks/ -> EXPERIMENTS.md)")
+    print("=" * 70)
+    bench = subprocess.run(
+        [sys.executable, "-m", "pytest", "benchmarks/", "--benchmark-only",
+         "-p", "no:cacheprovider", "-q", "-s",
+         "--benchmark-disable-gc"],
+        check=False)
+    if bench.returncode != 0:
+        print("\nEXPERIMENT SHAPE REGRESSION -- see failures above.")
+        return bench.returncode
+    if quick:
+        print("\nAll experiment shapes hold. (--quick: skipping unit tests)")
+        return 0
+    print()
+    print("=" * 70)
+    print("Running the full unit/property test suite (tests/)")
+    print("=" * 70)
+    tests = subprocess.run(
+        [sys.executable, "-m", "pytest", "tests/", "-p", "no:cacheprovider",
+         "-q"],
+        check=False)
+    if tests.returncode != 0:
+        return tests.returncode
+    print("\nAll experiment shapes hold and all tests pass.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

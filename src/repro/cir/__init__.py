@@ -1,0 +1,75 @@
+"""Mini-C: the C-language stand-in used by MAPS and the Source Recoder.
+
+The paper's tools (MAPS section IV, Source Recoder section VI) consume C /
+C-based SLDL sources.  ``repro.cir`` implements a compact C subset with the
+full front-end stack those tools need:
+
+- :mod:`repro.cir.lexer` / :mod:`repro.cir.parser` -- text to AST;
+- :mod:`repro.cir.nodes` -- the AST node classes;
+- :mod:`repro.cir.typesys` / :mod:`repro.cir.symbols` -- types and scopes;
+- :mod:`repro.cir.interp` -- a counting interpreter used both to validate
+  that transformations preserve semantics and to estimate task costs;
+- :mod:`repro.cir.codegen` -- AST back to compilable-looking C text;
+- :mod:`repro.cir.analysis` -- CFG, reaching definitions, liveness,
+  def-use chains and loop dependence tests (the "advanced dataflow
+  analysis" MAPS uses to extract parallelism).
+
+Supported language: ``int``/``float``/``void``, multi-dimensional arrays,
+one-level pointers, functions, ``if``/``while``/``for``/``break``/
+``continue``/``return``, the usual operators, and compound assignment.
+
+Example
+-------
+>>> from repro.cir import parse, run_program
+>>> prog = parse('''
+... int square(int x) { return x * x; }
+... int main() { int s; s = 0; int i;
+...   for (i = 0; i < 4; i = i + 1) { s = s + square(i); }
+...   return s; }
+... ''')
+>>> run_program(prog).return_value
+14
+"""
+
+from repro.cir.lexer import LexError, Token, tokenize
+from repro.cir.parser import ParseError, parse, parse_expression
+from repro.cir.nodes import (
+    ArrayIndex,
+    Assign,
+    BinOp,
+    Block,
+    Break,
+    Call,
+    Continue,
+    Decl,
+    ExprStmt,
+    FloatLit,
+    For,
+    FuncDef,
+    Ident,
+    If,
+    IntLit,
+    Program,
+    Return,
+    StringLit,
+    UnaryOp,
+    While,
+)
+from repro.cir.typesys import ArrayType, PointerType, ScalarType, Type, TypeError_
+from repro.cir.symbols import Scope, SymbolTable, build_symbols
+from repro.cir.interp import InterpError, Interpreter, RunResult, run_program
+from repro.cir.codegen import emit, emit_expression
+from repro.cir.typecheck import Diagnostic, TypeCheckError, check_program, require_clean
+from repro.cir.clone import clone, clone_list
+
+__all__ = [
+    "ArrayIndex", "ArrayType", "Assign", "BinOp", "Block", "Break", "Call",
+    "Continue", "Decl", "ExprStmt", "FloatLit", "For", "FuncDef", "Ident",
+    "If", "IntLit", "InterpError", "Interpreter", "LexError", "ParseError",
+    "PointerType", "Program", "Return", "RunResult", "ScalarType", "Scope",
+    "StringLit", "SymbolTable", "Token", "Type", "TypeError_", "UnaryOp",
+    "Diagnostic", "TypeCheckError", "While", "build_symbols",
+    "check_program", "clone", "clone_list", "emit", "emit_expression",
+    "parse", "parse_expression", "require_clean", "run_program",
+    "tokenize",
+]

@@ -1,0 +1,48 @@
+"""Deep-cloning of AST nodes with fresh node ids.
+
+Partitioning (MAPS) and every Source Recoder transformation produce new
+statements derived from existing ones; cloning keeps the original AST
+intact and gives the copies fresh ``node_id`` values so analyses never
+confuse them with their originals.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, List, TypeVar
+
+from repro.cir.nodes import Node
+
+N = TypeVar("N", bound=Node)
+
+
+def clone(node: N) -> N:
+    """Deep-copy an AST node; every copied node gets a fresh node_id."""
+    if not isinstance(node, Node):
+        raise TypeError(f"clone expects a Node, got {node!r}")
+    kwargs: dict = {}
+    for field in dataclasses.fields(node):
+        if field.name == "node_id":
+            continue  # regenerate via default_factory
+        value = getattr(node, field.name)
+        kwargs[field.name] = _clone_value(value)
+    return type(node)(**kwargs)
+
+
+def _clone_value(value: Any) -> Any:
+    if isinstance(value, Node):
+        return clone(value)
+    if isinstance(value, list):
+        return [_clone_value(item) for item in value]
+    if isinstance(value, tuple):
+        return tuple(_clone_value(item) for item in value)
+    if isinstance(value, dict):
+        return {key: _clone_value(item) for key, item in value.items()}
+    return value  # scalars, strings, Types (frozen) are shared
+
+
+def clone_list(nodes: List[N]) -> List[N]:
+    return [clone(node) for node in nodes]
+
+
+__all__ = ["clone", "clone_list"]

@@ -1,0 +1,205 @@
+"""Code generator: mini-C AST back to C-like source text.
+
+This is the "Code Generator" box of the Source Recoder (Figure 3): after
+transformation tools mutate the AST, :func:`emit` regenerates the document
+text.  It is also the final stage of the MAPS flow, which emits per-PE C
+code for native compilation (Figure 1).
+
+The emitter is deterministic and stable: emitting an unchanged AST twice
+yields byte-identical text, which the recoder's synchronization tests rely
+on (parse(emit(ast)) round-trips).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.cir.nodes import (
+    ArrayIndex, Assign, BinOp, Block, Break, Call, Cond, Continue, Decl,
+    Expr, ExprStmt, FloatLit, For, FuncDef, Ident, If, IntLit, Program, Return, Stmt, StringLit, UnaryOp, While,
+)
+from repro.cir.typesys import ArrayType, PointerType, Type
+
+_INDENT = "    "
+
+# Precedence for parenthesization decisions, mirroring the parser table.
+_BIN_PREC = {
+    "||": 1, "&&": 2, "|": 3, "^": 4, "&": 5, "==": 6, "!=": 6,
+    "<": 7, ">": 7, "<=": 7, ">=": 7, "<<": 8, ">>": 8,
+    "+": 9, "-": 9, "*": 10, "/": 10, "%": 10,
+}
+_UNARY_PREC = 11
+_POSTFIX_PREC = 12
+
+
+def emit_expression(expr: Expr, parent_prec: int = 0) -> str:
+    """Render an expression, inserting parentheses only where required."""
+    if isinstance(expr, IntLit):
+        return str(expr.value)
+    if isinstance(expr, FloatLit):
+        text = repr(expr.value)
+        return text if ("." in text or "e" in text or "inf" in text) else text + ".0"
+    if isinstance(expr, StringLit):
+        escaped = (expr.value.replace("\\", "\\\\").replace('"', '\\"')
+                   .replace("\n", "\\n").replace("\t", "\\t"))
+        return f'"{escaped}"'
+    if isinstance(expr, Ident):
+        return expr.name
+    if isinstance(expr, ArrayIndex):
+        base = emit_expression(expr.base, _POSTFIX_PREC)
+        index = emit_expression(expr.index, 0)
+        return f"{base}[{index}]"
+    if isinstance(expr, Call):
+        args = ", ".join(emit_expression(a, 0) for a in expr.args)
+        return f"{expr.name}({args})"
+    if isinstance(expr, UnaryOp):
+        inner = emit_expression(expr.operand, _UNARY_PREC)
+        # '--x' would lex as the decrement operator; keep '-(-x)' explicit.
+        if inner.startswith(expr.op) and expr.op in ("-", "&", "*", "+"):
+            inner = f"({inner})"
+        text = f"{expr.op}{inner}"
+        return f"({text})" if parent_prec > _UNARY_PREC else text
+    if isinstance(expr, BinOp):
+        prec = _BIN_PREC[expr.op]
+        left = emit_expression(expr.left, prec)
+        # Right operand of a left-associative operator needs parens at
+        # equal precedence: a - (b - c).
+        right = emit_expression(expr.right, prec + 1)
+        text = f"{left} {expr.op} {right}"
+        return f"({text})" if parent_prec > prec else text
+    if isinstance(expr, Cond):
+        test = emit_expression(expr.test, 1)
+        then = emit_expression(expr.then, 0)
+        other = emit_expression(expr.other, 0)
+        text = f"{test} ? {then} : {other}"
+        return f"({text})" if parent_prec > 0 else text
+    raise TypeError(f"cannot emit expression node {expr!r}")
+
+
+def _emit_declarator(dtype: Type, name: str) -> str:
+    if isinstance(dtype, ArrayType):
+        dims = "".join(f"[{d}]" for d in dtype.dims)
+        return f"{dtype.element} {name}{dims}"
+    if isinstance(dtype, PointerType):
+        return f"{dtype.pointee} *{name}"
+    return f"{dtype} {name}"
+
+
+def _emit_stmt_inline(stmt: Stmt) -> str:
+    """Render a simple statement without indentation or semicolon
+    (for-header position)."""
+    if isinstance(stmt, Assign):
+        target = emit_expression(stmt.target)
+        value = emit_expression(stmt.value)
+        op = f"{stmt.op}=" if stmt.op else "="
+        return f"{target} {op} {value}"
+    if isinstance(stmt, ExprStmt):
+        return emit_expression(stmt.expr)
+    if isinstance(stmt, Decl):
+        text = _emit_declarator(stmt.type, stmt.name)
+        if stmt.const:
+            text = "const " + text
+        if stmt.init is not None:
+            text += f" = {emit_expression(stmt.init)}"
+        return text
+    raise TypeError(f"statement {stmt!r} is not valid in a for-header")
+
+
+class _Emitter:
+    def __init__(self) -> None:
+        self.lines: List[str] = []
+        self.depth = 0
+
+    def line(self, text: str) -> None:
+        self.lines.append(_INDENT * self.depth + text if text else "")
+
+    def emit_program(self, program: Program) -> None:
+        for decl in program.globals:
+            self.emit_stmt(decl)
+        if program.globals and program.functions:
+            self.line("")
+        for i, func in enumerate(program.functions):
+            if i:
+                self.line("")
+            self.emit_funcdef(func)
+
+    def emit_funcdef(self, func: FuncDef) -> None:
+        params = ", ".join(_emit_declarator(p.type, p.name)
+                           for p in func.params)
+        self.line(f"{func.return_type} {func.name}({params}) {{")
+        self.depth += 1
+        for stmt in func.body.stmts:
+            self.emit_stmt(stmt)
+        self.depth -= 1
+        self.line("}")
+
+    def emit_stmt(self, stmt: Stmt) -> None:
+        if isinstance(stmt, (Assign, ExprStmt, Decl)):
+            self.line(_emit_stmt_inline(stmt) + ";")
+        elif isinstance(stmt, Block):
+            self.line("{")
+            self.depth += 1
+            for inner in stmt.stmts:
+                self.emit_stmt(inner)
+            self.depth -= 1
+            self.line("}")
+        elif isinstance(stmt, If):
+            self.line(f"if ({emit_expression(stmt.test)}) {{")
+            self.depth += 1
+            for inner in stmt.then.stmts:
+                self.emit_stmt(inner)
+            self.depth -= 1
+            if stmt.other is not None:
+                self.line("} else {")
+                self.depth += 1
+                for inner in stmt.other.stmts:
+                    self.emit_stmt(inner)
+                self.depth -= 1
+            self.line("}")
+        elif isinstance(stmt, While):
+            self.line(f"while ({emit_expression(stmt.test)}) {{")
+            self.depth += 1
+            for inner in stmt.body.stmts:
+                self.emit_stmt(inner)
+            self.depth -= 1
+            self.line("}")
+        elif isinstance(stmt, For):
+            init = _emit_stmt_inline(stmt.init) if stmt.init else ""
+            test = emit_expression(stmt.test) if stmt.test else ""
+            step = _emit_stmt_inline(stmt.step) if stmt.step else ""
+            self.line(f"for ({init}; {test}; {step}) {{")
+            self.depth += 1
+            for inner in stmt.body.stmts:
+                self.emit_stmt(inner)
+            self.depth -= 1
+            self.line("}")
+        elif isinstance(stmt, Return):
+            if stmt.value is None:
+                self.line("return;")
+            else:
+                self.line(f"return {emit_expression(stmt.value)};")
+        elif isinstance(stmt, Break):
+            self.line("break;")
+        elif isinstance(stmt, Continue):
+            self.line("continue;")
+        else:
+            raise TypeError(f"cannot emit statement node {stmt!r}")
+
+
+def emit(node) -> str:
+    """Render a Program, FuncDef or Stmt as source text."""
+    emitter = _Emitter()
+    if isinstance(node, Program):
+        emitter.emit_program(node)
+    elif isinstance(node, FuncDef):
+        emitter.emit_funcdef(node)
+    elif isinstance(node, Stmt):
+        emitter.emit_stmt(node)
+    elif isinstance(node, Expr):
+        return emit_expression(node)
+    else:
+        raise TypeError(f"cannot emit {node!r}")
+    return "\n".join(emitter.lines) + "\n"
+
+
+__all__ = ["emit", "emit_expression"]

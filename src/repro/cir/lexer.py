@@ -1,0 +1,173 @@
+"""Tokenizer for the mini-C language.
+
+Produces a flat list of :class:`Token` objects with line/column positions.
+Positions survive into the AST, which the Source Recoder's document-sync
+engine (section VI) relies on to map text edits back to AST nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+KEYWORDS = {
+    "int", "float", "void", "if", "else", "while", "for", "return",
+    "break", "continue", "const",
+}
+
+# Longest-match-first operator table.
+OPERATORS = [
+    "<<=", ">>=",
+    "==", "!=", "<=", ">=", "&&", "||", "+=", "-=", "*=", "/=", "%=",
+    "++", "--", "<<", ">>",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "&", "|", "^", "~",
+    "(", ")", "{", "}", "[", "]", ";", ",", "?", ":",
+]
+
+
+class LexError(Exception):
+    """Raised on an unrecognized character or malformed literal."""
+
+    def __init__(self, message: str, line: int, col: int) -> None:
+        super().__init__(f"{message} at {line}:{col}")
+        self.line = line
+        self.col = col
+
+
+@dataclass(frozen=True)
+class Token:
+    """A lexical token.
+
+    ``kind`` is one of ``'int'``, ``'float'``, ``'string'``, ``'ident'``,
+    ``'keyword'``, ``'op'``, ``'eof'``.
+    """
+
+    kind: str
+    text: str
+    line: int
+    col: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r}, {self.line}:{self.col})"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize mini-C source text into a list ending with an EOF token."""
+    tokens: List[Token] = []
+    i = 0
+    line = 1
+    col = 1
+    n = len(source)
+
+    def error(message: str) -> LexError:
+        return LexError(message, line, col)
+
+    while i < n:
+        ch = source[i]
+        # -- whitespace ------------------------------------------------
+        if ch == "\n":
+            i += 1
+            line += 1
+            col = 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+        # -- comments --------------------------------------------------
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise error("unterminated block comment")
+            skipped = source[i:end + 2]
+            newlines = skipped.count("\n")
+            if newlines:
+                line += newlines
+                col = len(skipped) - skipped.rfind("\n")
+            else:
+                col += len(skipped)
+            i = end + 2
+            continue
+        # -- numbers ---------------------------------------------------
+        if ch.isdigit() or (ch == "." and i + 1 < n and source[i + 1].isdigit()):
+            start = i
+            start_col = col
+            is_float = False
+            while i < n and (source[i].isdigit() or source[i] == "."):
+                if source[i] == ".":
+                    if is_float:
+                        raise error("malformed number")
+                    is_float = True
+                i += 1
+                col += 1
+            if i < n and source[i] in "eE":
+                is_float = True
+                i += 1
+                col += 1
+                if i < n and source[i] in "+-":
+                    i += 1
+                    col += 1
+                if i >= n or not source[i].isdigit():
+                    raise error("malformed exponent")
+                while i < n and source[i].isdigit():
+                    i += 1
+                    col += 1
+            text = source[start:i]
+            kind = "float" if is_float else "int"
+            tokens.append(Token(kind, text, line, start_col))
+            continue
+        # -- identifiers / keywords -------------------------------------
+        if ch.isalpha() or ch == "_":
+            start = i
+            start_col = col
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+                col += 1
+            text = source[start:i]
+            kind = "keyword" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, line, start_col))
+            continue
+        # -- strings -----------------------------------------------------
+        if ch == '"':
+            start_col = col
+            i += 1
+            col += 1
+            chars: List[str] = []
+            while i < n and source[i] != '"':
+                if source[i] == "\n":
+                    raise error("unterminated string literal")
+                if source[i] == "\\" and i + 1 < n:
+                    esc = source[i + 1]
+                    chars.append({"n": "\n", "t": "\t", '"': '"',
+                                  "\\": "\\", "0": "\0"}.get(esc, esc))
+                    i += 2
+                    col += 2
+                else:
+                    chars.append(source[i])
+                    i += 1
+                    col += 1
+            if i >= n:
+                raise error("unterminated string literal")
+            i += 1
+            col += 1
+            tokens.append(Token("string", "".join(chars), line, start_col))
+            continue
+        # -- operators ---------------------------------------------------
+        for op in OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Token("op", op, line, col))
+                i += len(op)
+                col += len(op)
+                break
+        else:
+            raise error(f"unexpected character {ch!r}")
+
+    tokens.append(Token("eof", "", line, col))
+    return tokens
+
+
+__all__ = ["KEYWORDS", "LexError", "OPERATORS", "Token", "tokenize"]

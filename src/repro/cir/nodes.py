@@ -1,0 +1,307 @@
+"""AST node classes for mini-C.
+
+Every node carries a source position and a process-unique ``node_id``.  The
+Source Recoder (section VI) keys its document<->AST synchronization on these
+ids, and the analyses in :mod:`repro.cir.analysis` use them as stable
+dictionary keys.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+from repro.cir.typesys import Type
+
+_node_counter = itertools.count(1)
+
+
+def _fresh_id() -> int:
+    return next(_node_counter)
+
+
+@dataclass
+class Node:
+    """Base class for all AST nodes."""
+
+    line: int = field(default=0, kw_only=True)
+    col: int = field(default=0, kw_only=True)
+    node_id: int = field(default_factory=_fresh_id, kw_only=True)
+
+    def children(self) -> Iterator["Node"]:
+        """Yield direct child nodes (order = source order)."""
+        return iter(())
+
+    def walk(self) -> Iterator["Node"]:
+        """Yield this node and all descendants, pre-order."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+
+# ---------------------------------------------------------------------------
+# expressions
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Expr(Node):
+    """Base class for expressions."""
+
+
+@dataclass
+class IntLit(Expr):
+    value: int = 0
+
+
+@dataclass
+class FloatLit(Expr):
+    value: float = 0.0
+
+
+@dataclass
+class StringLit(Expr):
+    value: str = ""
+
+
+@dataclass
+class Ident(Expr):
+    name: str = ""
+
+
+@dataclass
+class ArrayIndex(Expr):
+    """``base[index]`` -- base may itself be an ArrayIndex (2-D arrays)."""
+
+    base: Expr = None  # type: ignore[assignment]
+    index: Expr = None  # type: ignore[assignment]
+
+    def children(self) -> Iterator[Node]:
+        yield self.base
+        yield self.index
+
+    def root_ident(self) -> Optional[Ident]:
+        """The identifier at the bottom of an index chain, if any."""
+        base = self.base
+        while isinstance(base, ArrayIndex):
+            base = base.base
+        return base if isinstance(base, Ident) else None
+
+    def index_chain(self) -> List[Expr]:
+        """All index expressions outermost-last, e.g. ``a[i][j]`` -> [i, j]."""
+        chain: List[Expr] = []
+        node: Expr = self
+        while isinstance(node, ArrayIndex):
+            chain.append(node.index)
+            node = node.base
+        chain.reverse()
+        return chain
+
+
+@dataclass
+class Call(Expr):
+    name: str = ""
+    args: List[Expr] = field(default_factory=list)
+
+    def children(self) -> Iterator[Node]:
+        yield from self.args
+
+
+@dataclass
+class BinOp(Expr):
+    op: str = "+"
+    left: Expr = None  # type: ignore[assignment]
+    right: Expr = None  # type: ignore[assignment]
+
+    def children(self) -> Iterator[Node]:
+        yield self.left
+        yield self.right
+
+
+@dataclass
+class UnaryOp(Expr):
+    """Unary operators: ``-``, ``!``, ``~``, ``*`` (deref), ``&`` (addr-of)."""
+
+    op: str = "-"
+    operand: Expr = None  # type: ignore[assignment]
+
+    def children(self) -> Iterator[Node]:
+        yield self.operand
+
+
+@dataclass
+class Cond(Expr):
+    """Ternary conditional ``test ? then : other``."""
+
+    test: Expr = None  # type: ignore[assignment]
+    then: Expr = None  # type: ignore[assignment]
+    other: Expr = None  # type: ignore[assignment]
+
+    def children(self) -> Iterator[Node]:
+        yield self.test
+        yield self.then
+        yield self.other
+
+
+# ---------------------------------------------------------------------------
+# statements
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Stmt(Node):
+    """Base class for statements."""
+
+
+@dataclass
+class Decl(Stmt):
+    """Variable declaration with optional initializer."""
+
+    type: Type = None  # type: ignore[assignment]
+    name: str = ""
+    init: Optional[Expr] = None
+    const: bool = False
+
+    def children(self) -> Iterator[Node]:
+        if self.init is not None:
+            yield self.init
+
+
+@dataclass
+class Assign(Stmt):
+    """Assignment statement: ``target op= value`` (op '' for plain ``=``)."""
+
+    target: Expr = None  # type: ignore[assignment]
+    value: Expr = None  # type: ignore[assignment]
+    op: str = ""  # '', '+', '-', '*', '/', '%', '<<', '>>', '&', '|', '^'
+
+    def children(self) -> Iterator[Node]:
+        yield self.target
+        yield self.value
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr = None  # type: ignore[assignment]
+
+    def children(self) -> Iterator[Node]:
+        yield self.expr
+
+
+@dataclass
+class Block(Stmt):
+    stmts: List[Stmt] = field(default_factory=list)
+
+    def children(self) -> Iterator[Node]:
+        yield from self.stmts
+
+
+@dataclass
+class If(Stmt):
+    test: Expr = None  # type: ignore[assignment]
+    then: Block = None  # type: ignore[assignment]
+    other: Optional[Block] = None
+
+    def children(self) -> Iterator[Node]:
+        yield self.test
+        yield self.then
+        if self.other is not None:
+            yield self.other
+
+
+@dataclass
+class While(Stmt):
+    test: Expr = None  # type: ignore[assignment]
+    body: Block = None  # type: ignore[assignment]
+
+    def children(self) -> Iterator[Node]:
+        yield self.test
+        yield self.body
+
+
+@dataclass
+class For(Stmt):
+    """C-style for loop; init/step are statements, any may be None."""
+
+    init: Optional[Stmt] = None
+    test: Optional[Expr] = None
+    step: Optional[Stmt] = None
+    body: Block = None  # type: ignore[assignment]
+
+    def children(self) -> Iterator[Node]:
+        if self.init is not None:
+            yield self.init
+        if self.test is not None:
+            yield self.test
+        if self.step is not None:
+            yield self.step
+        yield self.body
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr] = None
+
+    def children(self) -> Iterator[Node]:
+        if self.value is not None:
+            yield self.value
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+# ---------------------------------------------------------------------------
+# declarations
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Param(Node):
+    type: Type = None  # type: ignore[assignment]
+    name: str = ""
+
+
+@dataclass
+class FuncDef(Node):
+    return_type: Type = None  # type: ignore[assignment]
+    name: str = ""
+    params: List[Param] = field(default_factory=list)
+    body: Block = None  # type: ignore[assignment]
+
+    def children(self) -> Iterator[Node]:
+        yield from self.params
+        yield self.body
+
+
+@dataclass
+class Program(Node):
+    """A translation unit: global declarations and function definitions."""
+
+    globals: List[Decl] = field(default_factory=list)
+    functions: List[FuncDef] = field(default_factory=list)
+
+    def children(self) -> Iterator[Node]:
+        yield from self.globals
+        yield from self.functions
+
+    def function(self, name: str) -> FuncDef:
+        for func in self.functions:
+            if func.name == name:
+                return func
+        raise KeyError(f"no function named {name!r}")
+
+    def has_function(self, name: str) -> bool:
+        return any(func.name == name for func in self.functions)
+
+
+__all__ = [
+    "ArrayIndex", "Assign", "BinOp", "Block", "Break", "Call", "Cond",
+    "Continue", "Decl", "Expr", "ExprStmt", "FloatLit", "For", "FuncDef",
+    "Ident", "If", "IntLit", "Node", "Param", "Program", "Return", "Stmt",
+    "StringLit", "UnaryOp", "While",
+]

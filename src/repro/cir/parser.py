@@ -1,0 +1,380 @@
+"""Recursive-descent parser for mini-C."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.cir.lexer import Token, tokenize
+from repro.cir.nodes import (
+    ArrayIndex, Assign, BinOp, Block, Break, Call, Cond, Continue, Decl,
+    Expr, ExprStmt, FloatLit, For, FuncDef, Ident, If, IntLit, Param,
+    Program, Return, Stmt, StringLit, UnaryOp, While,
+)
+from repro.cir.typesys import ArrayType, PointerType, ScalarType, Type, scalar
+
+COMPOUND_ASSIGN = {"+=": "+", "-=": "-", "*=": "*", "/=": "/", "%=": "%",
+                   "<<=": "<<", ">>=": ">>"}
+
+# Binary operator precedence, low to high.  Each level is left-associative.
+_PRECEDENCE: List[List[str]] = [
+    ["||"],
+    ["&&"],
+    ["|"],
+    ["^"],
+    ["&"],
+    ["==", "!="],
+    ["<", ">", "<=", ">="],
+    ["<<", ">>"],
+    ["+", "-"],
+    ["*", "/", "%"],
+]
+
+
+class ParseError(Exception):
+    """Raised on a syntax error, with source position."""
+
+    def __init__(self, message: str, token: Token) -> None:
+        super().__init__(f"{message} at {token.line}:{token.col} "
+                         f"(near {token.text!r})")
+        self.token = token
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token helpers --------------------------------------------------
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def peek(self, offset: int = 1) -> Token:
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind != "eof":
+            self.pos += 1
+        return token
+
+    def check(self, kind: str, text: Optional[str] = None) -> bool:
+        token = self.current
+        return token.kind == kind and (text is None or token.text == text)
+
+    def accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        if self.check(kind, text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        if not self.check(kind, text):
+            want = text or kind
+            raise ParseError(f"expected {want!r}", self.current)
+        return self.advance()
+
+    def _pos_of(self, token: Token) -> dict:
+        return {"line": token.line, "col": token.col}
+
+    # -- program --------------------------------------------------------
+    def parse_program(self) -> Program:
+        start = self.current
+        program = Program(**self._pos_of(start))
+        while not self.check("eof"):
+            if not self._at_type():
+                raise ParseError("expected type at top level", self.current)
+            # Look ahead: type [*] ident '(' => function, otherwise global.
+            offset = 1
+            if self.peek(offset).kind == "op" and self.peek(offset).text == "*":
+                offset += 1
+            if (self.peek(offset).kind == "ident"
+                    and self.peek(offset + 1).text == "("):
+                program.functions.append(self.parse_funcdef())
+            else:
+                program.globals.append(self.parse_decl())
+        return program
+
+    def _at_type(self) -> bool:
+        return (self.check("keyword") and
+                self.current.text in ("int", "float", "void", "const"))
+
+    def parse_type_prefix(self) -> ScalarType:
+        token = self.expect("keyword")
+        if token.text not in ("int", "float", "void"):
+            raise ParseError("expected a type name", token)
+        return scalar(token.text)
+
+    def parse_funcdef(self) -> FuncDef:
+        start = self.current
+        base = self.parse_type_prefix()
+        return_type: Type = base
+        if self.accept("op", "*"):
+            return_type = PointerType(base)
+        name = self.expect("ident").text
+        self.expect("op", "(")
+        params: List[Param] = []
+        if not self.check("op", ")"):
+            while True:
+                params.append(self.parse_param())
+                if not self.accept("op", ","):
+                    break
+        self.expect("op", ")")
+        body = self.parse_block()
+        return FuncDef(return_type=return_type, name=name, params=params,
+                       body=body, **self._pos_of(start))
+
+    def parse_param(self) -> Param:
+        start = self.current
+        base = self.parse_type_prefix()
+        ptype: Type = base
+        if self.accept("op", "*"):
+            ptype = PointerType(base)
+        name = self.expect("ident").text
+        dims: List[int] = []
+        while self.accept("op", "["):
+            dims.append(int(self.expect("int").text))
+            self.expect("op", "]")
+        if dims:
+            ptype = ArrayType(base, tuple(dims))
+        return Param(type=ptype, name=name, **self._pos_of(start))
+
+    # -- statements -------------------------------------------------------
+    def parse_block(self) -> Block:
+        start = self.expect("op", "{")
+        block = Block(**self._pos_of(start))
+        while not self.check("op", "}"):
+            if self.check("eof"):
+                raise ParseError("unterminated block", self.current)
+            block.stmts.append(self.parse_statement())
+        self.expect("op", "}")
+        return block
+
+    def parse_statement(self) -> Stmt:
+        token = self.current
+        if self.check("op", "{"):
+            return self.parse_block()
+        if self.check("keyword", "if"):
+            return self.parse_if()
+        if self.check("keyword", "while"):
+            return self.parse_while()
+        if self.check("keyword", "for"):
+            return self.parse_for()
+        if self.check("keyword", "return"):
+            self.advance()
+            value = None
+            if not self.check("op", ";"):
+                value = self.parse_expression()
+            self.expect("op", ";")
+            return Return(value=value, **self._pos_of(token))
+        if self.check("keyword", "break"):
+            self.advance()
+            self.expect("op", ";")
+            return Break(**self._pos_of(token))
+        if self.check("keyword", "continue"):
+            self.advance()
+            self.expect("op", ";")
+            return Continue(**self._pos_of(token))
+        if self._at_type():
+            return self.parse_decl()
+        stmt = self.parse_simple_statement()
+        self.expect("op", ";")
+        return stmt
+
+    def parse_decl(self) -> Decl:
+        start = self.current
+        const = bool(self.accept("keyword", "const"))
+        base = self.parse_type_prefix()
+        dtype: Type = base
+        if self.accept("op", "*"):
+            dtype = PointerType(base)
+        name = self.expect("ident").text
+        dims: List[int] = []
+        while self.accept("op", "["):
+            dims.append(int(self.expect("int").text))
+            self.expect("op", "]")
+        if dims:
+            if dtype.is_pointer():
+                raise ParseError("array of pointers is unsupported", start)
+            dtype = ArrayType(base, tuple(dims))
+        init = None
+        if self.accept("op", "="):
+            init = self.parse_expression()
+        self.expect("op", ";")
+        return Decl(type=dtype, name=name, init=init, const=const,
+                    **self._pos_of(start))
+
+    def parse_simple_statement(self) -> Stmt:
+        """An assignment, increment/decrement, or expression statement
+        (no trailing semicolon -- usable in for-headers)."""
+        start = self.current
+        expr = self.parse_expression()
+        if self.check("op") and self.current.text in ({"="} | set(COMPOUND_ASSIGN)):
+            op_token = self.advance()
+            value = self.parse_expression()
+            op = COMPOUND_ASSIGN.get(op_token.text, "")
+            return Assign(target=expr, value=value, op=op,
+                          **self._pos_of(start))
+        if self.check("op", "++") or self.check("op", "--"):
+            op_token = self.advance()
+            one = IntLit(value=1, **self._pos_of(op_token))
+            op = "+" if op_token.text == "++" else "-"
+            return Assign(target=expr, value=one, op=op, **self._pos_of(start))
+        return ExprStmt(expr=expr, **self._pos_of(start))
+
+    def parse_if(self) -> If:
+        start = self.expect("keyword", "if")
+        self.expect("op", "(")
+        test = self.parse_expression()
+        self.expect("op", ")")
+        then = self._statement_as_block()
+        other = None
+        if self.accept("keyword", "else"):
+            other = self._statement_as_block()
+        return If(test=test, then=then, other=other, **self._pos_of(start))
+
+    def parse_while(self) -> While:
+        start = self.expect("keyword", "while")
+        self.expect("op", "(")
+        test = self.parse_expression()
+        self.expect("op", ")")
+        body = self._statement_as_block()
+        return While(test=test, body=body, **self._pos_of(start))
+
+    def parse_for(self) -> For:
+        start = self.expect("keyword", "for")
+        self.expect("op", "(")
+        init: Optional[Stmt] = None
+        if not self.check("op", ";"):
+            if self._at_type():
+                # Declaration in for-init consumes its own semicolon.
+                init = self.parse_decl()
+            else:
+                init = self.parse_simple_statement()
+                self.expect("op", ";")
+        else:
+            self.expect("op", ";")
+        test: Optional[Expr] = None
+        if not self.check("op", ";"):
+            test = self.parse_expression()
+        self.expect("op", ";")
+        step: Optional[Stmt] = None
+        if not self.check("op", ")"):
+            step = self.parse_simple_statement()
+        self.expect("op", ")")
+        body = self._statement_as_block()
+        return For(init=init, test=test, step=step, body=body,
+                   **self._pos_of(start))
+
+    def _statement_as_block(self) -> Block:
+        """Wrap a single statement into a Block so bodies are uniform."""
+        if self.check("op", "{"):
+            return self.parse_block()
+        stmt = self.parse_statement()
+        return Block(stmts=[stmt], line=stmt.line, col=stmt.col)
+
+    # -- expressions ------------------------------------------------------
+    def parse_expression(self) -> Expr:
+        return self.parse_ternary()
+
+    def parse_ternary(self) -> Expr:
+        test = self.parse_binary(0)
+        if self.accept("op", "?"):
+            then = self.parse_expression()
+            self.expect("op", ":")
+            other = self.parse_ternary()
+            return Cond(test=test, then=then, other=other,
+                        line=test.line, col=test.col)
+        return test
+
+    def parse_binary(self, level: int) -> Expr:
+        if level >= len(_PRECEDENCE):
+            return self.parse_unary()
+        left = self.parse_binary(level + 1)
+        ops = _PRECEDENCE[level]
+        while self.check("op") and self.current.text in ops:
+            op_token = self.advance()
+            right = self.parse_binary(level + 1)
+            left = BinOp(op=op_token.text, left=left, right=right,
+                         **self._pos_of(op_token))
+        return left
+
+    def parse_unary(self) -> Expr:
+        token = self.current
+        if self.check("op") and token.text in ("-", "!", "~", "*", "&", "+"):
+            self.advance()
+            operand = self.parse_unary()
+            if token.text == "+":
+                return operand
+            return UnaryOp(op=token.text, operand=operand,
+                           **self._pos_of(token))
+        return self.parse_postfix()
+
+    def parse_postfix(self) -> Expr:
+        expr = self.parse_primary()
+        while True:
+            if self.check("op", "["):
+                bracket = self.advance()
+                index = self.parse_expression()
+                self.expect("op", "]")
+                expr = ArrayIndex(base=expr, index=index,
+                                  **self._pos_of(bracket))
+            else:
+                break
+        return expr
+
+    def parse_primary(self) -> Expr:
+        token = self.current
+        if self.check("int"):
+            self.advance()
+            return IntLit(value=int(token.text), **self._pos_of(token))
+        if self.check("float"):
+            self.advance()
+            return FloatLit(value=float(token.text), **self._pos_of(token))
+        if self.check("string"):
+            self.advance()
+            return StringLit(value=token.text, **self._pos_of(token))
+        if self.check("ident"):
+            self.advance()
+            if self.check("op", "("):
+                self.advance()
+                args: List[Expr] = []
+                if not self.check("op", ")"):
+                    while True:
+                        args.append(self.parse_expression())
+                        if not self.accept("op", ","):
+                            break
+                self.expect("op", ")")
+                return Call(name=token.text, args=args, **self._pos_of(token))
+            return Ident(name=token.text, **self._pos_of(token))
+        if self.accept("op", "("):
+            expr = self.parse_expression()
+            self.expect("op", ")")
+            return expr
+        raise ParseError("expected an expression", token)
+
+
+def parse(source: str) -> Program:
+    """Parse mini-C source text into a :class:`Program` AST."""
+    parser = _Parser(tokenize(source))
+    program = parser.parse_program()
+    return program
+
+
+def parse_expression(source: str) -> Expr:
+    """Parse a standalone expression (used by tests and the recoder)."""
+    parser = _Parser(tokenize(source))
+    expr = parser.parse_expression()
+    parser.expect("eof")
+    return expr
+
+
+def parse_statement(source: str) -> Stmt:
+    """Parse a standalone statement (used by the recoder's edit-apply path)."""
+    parser = _Parser(tokenize(source))
+    stmt = parser.parse_statement()
+    parser.expect("eof")
+    return stmt
+
+
+__all__ = ["ParseError", "parse", "parse_expression", "parse_statement"]

@@ -1,0 +1,24 @@
+"""Unified design-flow API over every subsystem of the reproduction.
+
+The paper surveys several tool flows; :mod:`repro.core` offers a single
+entry point a downstream user would actually adopt:
+
+- :class:`~repro.core.platform.PlatformDescription` -- one platform
+  description, projectable to the MAPS platform model, the many-core OS
+  machine model, and the HOPES architecture file;
+- :class:`~repro.core.application.Application` -- one application wrapper
+  over sequential C, CIC task graphs, or stream pipelines;
+- :class:`~repro.core.flow.DesignFlow` -- routes an application through
+  the right tool flow and returns a unified report;
+- :mod:`repro.core.metrics` -- common measurement helpers.
+"""
+
+from repro.core.application import Application, ApplicationKind
+from repro.core.platform import PlatformDescription
+from repro.core.flow import DesignFlow, UnifiedReport
+from repro.core.metrics import geometric_mean, speedup_curve, summarize_speedups
+
+__all__ = [
+    "Application", "ApplicationKind", "DesignFlow", "PlatformDescription",
+    "UnifiedReport", "geometric_mean", "speedup_curve", "summarize_speedups",
+]

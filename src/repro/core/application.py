@@ -1,0 +1,71 @@
+"""Unified application wrapper."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+from repro.cir.nodes import Program
+from repro.cir.parser import parse
+from repro.hopes.cic import CICApplication
+from repro.rt.pipeline import PipelineSpec
+
+
+class ApplicationKind(Enum):
+    """How the application is specified."""
+
+    SEQUENTIAL_C = "sequential_c"   # mini-C, enters the MAPS flow
+    CIC = "cic"                     # task+channel spec, enters HOPES
+    STREAM = "stream"               # stage pipeline, enters the RT executives
+
+
+@dataclass
+class Application:
+    """One application, however it was written."""
+
+    name: str
+    kind: ApplicationKind
+    source: Optional[str] = None
+    program: Optional[Program] = None
+    cic: Optional[CICApplication] = None
+    pipeline: Optional[PipelineSpec] = None
+    entry: str = "main"
+    period: Optional[float] = None
+    deadline: Optional[float] = None
+
+    @classmethod
+    def from_c(cls, name: str, source: str, entry: str = "main",
+               period: Optional[float] = None,
+               deadline: Optional[float] = None) -> "Application":
+        return cls(name, ApplicationKind.SEQUENTIAL_C, source=source,
+                   program=parse(source), entry=entry, period=period,
+                   deadline=deadline)
+
+    @classmethod
+    def from_cic(cls, cic: CICApplication,
+                 period: Optional[float] = None) -> "Application":
+        return cls(cic.name, ApplicationKind.CIC, cic=cic, period=period)
+
+    @classmethod
+    def from_pipeline(cls, name: str,
+                      pipeline: PipelineSpec) -> "Application":
+        return cls(name, ApplicationKind.STREAM, pipeline=pipeline,
+                   period=pipeline.period)
+
+    def validate(self) -> None:
+        if self.kind == ApplicationKind.SEQUENTIAL_C:
+            if self.program is None:
+                raise ValueError(f"{self.name}: no program")
+            self.program.function(self.entry)
+        elif self.kind == ApplicationKind.CIC:
+            if self.cic is None:
+                raise ValueError(f"{self.name}: no CIC spec")
+            self.cic.validate()
+        elif self.kind == ApplicationKind.STREAM:
+            if self.pipeline is None:
+                raise ValueError(f"{self.name}: no pipeline spec")
+            self.pipeline.validate()
+
+
+__all__ = ["Application", "ApplicationKind"]

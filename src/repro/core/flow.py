@@ -1,0 +1,70 @@
+"""The unified design flow: one entry point, the right tool per app kind."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.core.application import Application, ApplicationKind
+from repro.core.platform import PlatformDescription
+from repro.hopes.translator import CICTranslator, GeneratedTarget
+from repro.maps.flow import FlowReport, MapsFlow
+from repro.rt.data_driven import DataDrivenResult, run_data_driven
+from repro.rt.time_triggered import TimeTriggeredResult, run_time_triggered
+
+
+@dataclass
+class UnifiedReport:
+    """What the unified flow produced (fields filled per app kind)."""
+
+    app_name: str
+    kind: ApplicationKind
+    maps_report: Optional[FlowReport] = None
+    hopes_target: Optional[GeneratedTarget] = None
+    hopes_execution: Optional[Any] = None
+    stream_data_driven: Optional[DataDrivenResult] = None
+    stream_time_triggered: Optional[TimeTriggeredResult] = None
+
+    @property
+    def ok(self) -> bool:
+        if self.kind == ApplicationKind.SEQUENTIAL_C:
+            return bool(self.maps_report and
+                        self.maps_report.semantics_preserved)
+        if self.kind == ApplicationKind.CIC:
+            return self.hopes_execution is not None
+        return self.stream_data_driven is not None
+
+
+class DesignFlow:
+    """Route applications through the MAPS / HOPES / RT flows."""
+
+    def __init__(self, platform: PlatformDescription) -> None:
+        self.platform = platform
+
+    def run(self, app: Application, iterations: int = 16,
+            split_k: Optional[int] = None) -> UnifiedReport:
+        """Process one application end to end on this platform."""
+        app.validate()
+        report = UnifiedReport(app.name, app.kind)
+        if app.kind == ApplicationKind.SEQUENTIAL_C:
+            flow = MapsFlow(self.platform.as_maps_platform())
+            report.maps_report = flow.run(app.program, entry=app.entry,
+                                          split_k=split_k,
+                                          app_name=app.name)
+        elif app.kind == ApplicationKind.CIC:
+            translator = CICTranslator(app.cic, self.platform.as_arch_info())
+            generated = translator.translate()
+            report.hopes_target = generated
+            report.hopes_execution = generated.run(iterations)
+        elif app.kind == ApplicationKind.STREAM:
+            report.stream_data_driven = run_data_driven(app.pipeline,
+                                                        jobs=iterations)
+            try:
+                report.stream_time_triggered = run_time_triggered(
+                    app.pipeline, jobs=iterations)
+            except ValueError:
+                report.stream_time_triggered = None  # infeasible TT schedule
+        return report
+
+
+__all__ = ["DesignFlow", "UnifiedReport"]

@@ -1,0 +1,106 @@
+"""One platform description, many projections.
+
+The subsystems grew their own platform models (as the paper's tools did);
+:class:`PlatformDescription` is the single source of truth a user writes,
+projectable into each model:
+
+- :meth:`as_maps_platform` -- the MAPS coarse architecture model;
+- :meth:`as_machine` -- the section-II many-core machine;
+- :meth:`as_arch_info` / :meth:`as_arch_xml` -- the HOPES architecture
+  file;
+- :meth:`as_soc_config` -- the virtual-platform build config.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.hopes.archfile import ArchInfo, InterconnectInfo, ProcessorInfo, to_arch_xml
+from repro.manycore.machine import Machine
+from repro.maps.spec import PEClass, PlatformSpec
+from repro.vp.soc import SoCConfig
+
+
+@dataclass
+class ProcessorDescription:
+    """One processor in the unified description."""
+
+    name: str
+    pe_class: str = "risc"          # risc | dsp | vliw | accelerator
+    freq: float = 1.0
+    local_store: Optional[int] = None
+    isa: str = "isa0"
+
+
+@dataclass
+class PlatformDescription:
+    """Target platform, tool-agnostic."""
+
+    name: str = "platform"
+    processors: List[ProcessorDescription] = field(default_factory=list)
+    shared_memory: bool = True
+    comm_setup: float = 10.0
+    comm_per_word: float = 0.5
+    power_budget: Optional[float] = None
+
+    def add_processor(self, name: str, pe_class: str = "risc",
+                      freq: float = 1.0, local_store: Optional[int] = None,
+                      isa: str = "isa0") -> ProcessorDescription:
+        if any(p.name == name for p in self.processors):
+            raise ValueError(f"duplicate processor {name!r}")
+        proc = ProcessorDescription(name, pe_class, freq, local_store, isa)
+        self.processors.append(proc)
+        return proc
+
+    @classmethod
+    def symmetric(cls, n: int, pe_class: str = "risc", **kwargs) \
+            -> "PlatformDescription":
+        description = cls(name=f"smp{n}", **kwargs)
+        for index in range(n):
+            description.add_processor(f"pe{index}", pe_class)
+        return description
+
+    # -- projections -------------------------------------------------------
+    def as_maps_platform(self) -> PlatformSpec:
+        platform = PlatformSpec(name=self.name,
+                                channel_setup_cost=self.comm_setup,
+                                channel_word_cost=self.comm_per_word)
+        for proc in self.processors:
+            platform.add_pe(proc.name, PEClass(proc.pe_class), proc.freq)
+        return platform
+
+    def as_machine(self) -> Machine:
+        machine = Machine(len(self.processors),
+                          power_budget=self.power_budget)
+        for core, proc in zip(machine.cores, self.processors):
+            core.freq = proc.freq
+            core.isa = proc.isa
+        return machine
+
+    def as_arch_info(self) -> ArchInfo:
+        model = "shared" if self.shared_memory else "distributed"
+        info = ArchInfo(name=self.name, model=model,
+                        interconnect=InterconnectInfo(
+                            kind="bus" if self.shared_memory else "dma",
+                            setup=self.comm_setup,
+                            per_word=self.comm_per_word))
+        for proc in self.processors:
+            proc_type = ("accel" if proc.local_store is not None
+                         else ("smp" if self.shared_memory else "host"))
+            info.processors.append(ProcessorInfo(
+                proc.name, proc_type, proc.freq, proc.local_store))
+        return info
+
+    def as_arch_xml(self) -> str:
+        return to_arch_xml(self.as_arch_info())
+
+    def as_soc_config(self, ram_words: int = 4096) -> SoCConfig:
+        return SoCConfig(n_cores=len(self.processors), ram_words=ram_words)
+
+    @property
+    def n_processors(self) -> int:
+        return len(self.processors)
+
+
+__all__ = ["PlatformDescription", "ProcessorDescription"]

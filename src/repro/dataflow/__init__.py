@@ -1,0 +1,53 @@
+"""Synchronous / cyclo-static dataflow substrate (paper section III).
+
+The Hijdra project's data-driven systems (and the buffer-capacity work of
+Wiggers et al., paper ref [5]) are built on (C)SDF graphs.  This package
+provides:
+
+- :mod:`repro.dataflow.graph` -- SDF/CSDF graph model;
+- :mod:`repro.dataflow.repetition` -- balance equations, consistency and
+  repetition vectors;
+- :mod:`repro.dataflow.simulate` -- deterministic self-timed execution with
+  bounded buffers (back-pressure) and per-firing execution-time models;
+- :mod:`repro.dataflow.throughput` -- throughput from self-timed execution
+  and max-cycle-ratio analysis on the HSDF expansion;
+- :mod:`repro.dataflow.buffer_sizing` -- minimal buffer capacities for a
+  required throughput (the design-time analysis that makes wait-free
+  periodic source/sink execution possible);
+- :mod:`repro.dataflow.schedule_existence` -- the section-III design-time
+  check: does a valid schedule exist such that the periodic source and sink
+  execute wait-free?
+"""
+
+from repro.dataflow.graph import Actor, CSDFGraph, Edge, SDFGraph
+from repro.dataflow.repetition import (
+    InconsistentGraph,
+    consistency_check,
+    repetition_vector,
+)
+from repro.dataflow.simulate import (
+    FiringRecord,
+    SelfTimedResult,
+    simulate_self_timed,
+)
+from repro.dataflow.throughput import (
+    hsdf_expansion,
+    max_cycle_ratio,
+    throughput_self_timed,
+)
+from repro.dataflow.buffer_sizing import (
+    BufferSizingResult,
+    minimal_buffer_sizes,
+)
+from repro.dataflow.schedule_existence import (
+    ScheduleExistence,
+    check_wait_free_schedule,
+)
+
+__all__ = [
+    "Actor", "BufferSizingResult", "CSDFGraph", "Edge", "FiringRecord",
+    "InconsistentGraph", "SDFGraph", "ScheduleExistence", "SelfTimedResult",
+    "check_wait_free_schedule", "consistency_check", "hsdf_expansion",
+    "max_cycle_ratio", "minimal_buffer_sizes", "repetition_vector",
+    "simulate_self_timed", "throughput_self_timed",
+]

@@ -1,0 +1,109 @@
+"""Balance equations, consistency, and repetition vectors for (C)SDF.
+
+For every edge ``src -prod-> cons- dst`` the balance equation is
+
+    q[src] * prod_per_cycle(src) / phases(src)  ==  q[dst] * cons_per_cycle ...
+
+For CSDF we use the standard normalization: the repetition vector counts
+*phase cycles*; per-edge, one cycle of the producer emits ``sum(prod)``
+tokens and one cycle of the consumer absorbs ``sum(cons)``.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from math import gcd
+from typing import Dict, List
+
+from repro.dataflow.graph import SDFGraph
+
+
+class InconsistentGraph(Exception):
+    """Raised when the balance equations only admit the zero solution."""
+
+
+def repetition_vector(graph: SDFGraph) -> Dict[str, int]:
+    """Smallest positive integer repetition vector of the graph.
+
+    For CSDF the entries count complete phase cycles; multiply by an
+    actor's phase count to get firings per iteration.
+
+    Raises :class:`InconsistentGraph` for rate-inconsistent graphs and
+    ``ValueError`` for graphs with no actors.
+    """
+    if not graph.actors:
+        raise ValueError("empty graph has no repetition vector")
+    ratios: Dict[str, Fraction] = {}
+    # Propagate ratios over the (undirected) connectivity of the graph.
+    names = list(graph.actors)
+    adjacency: Dict[str, List] = {name: [] for name in names}
+    for edge in graph.edges:
+        prod_total, _ = edge.prod_per_cycle()
+        cons_total, _ = edge.cons_per_cycle()
+        # q[src] * prod_total == q[dst] * cons_total
+        adjacency[edge.src].append((edge.dst, Fraction(prod_total, cons_total)))
+        adjacency[edge.dst].append((edge.src, Fraction(cons_total, prod_total)))
+
+    for start in names:
+        if start in ratios:
+            continue
+        ratios[start] = Fraction(1)
+        stack = [start]
+        while stack:
+            current = stack.pop()
+            for neighbor, factor in adjacency[current]:
+                implied = ratios[current] * factor
+                if neighbor in ratios:
+                    if ratios[neighbor] != implied:
+                        raise InconsistentGraph(
+                            f"balance equations conflict at actor "
+                            f"{neighbor!r}: {ratios[neighbor]} vs {implied}")
+                else:
+                    ratios[neighbor] = implied
+                    stack.append(neighbor)
+
+    # Scale to smallest positive integers.
+    denominators = [ratio.denominator for ratio in ratios.values()]
+    scale = 1
+    for den in denominators:
+        scale = scale * den // gcd(scale, den)
+    integered = {name: int(ratio * scale) for name, ratio in ratios.items()}
+    common = 0
+    for value in integered.values():
+        common = gcd(common, value)
+    if common > 1:
+        integered = {name: value // common for name, value in integered.items()}
+    if any(value <= 0 for value in integered.values()):
+        raise InconsistentGraph("non-positive repetition entry")
+    return integered
+
+
+def consistency_check(graph: SDFGraph) -> bool:
+    """True if the graph is sample-rate consistent."""
+    try:
+        repetition_vector(graph)
+    except InconsistentGraph:
+        return False
+    return True
+
+
+def firings_per_iteration(graph: SDFGraph) -> Dict[str, int]:
+    """Firings (not phase cycles) of each actor in one graph iteration."""
+    reps = repetition_vector(graph)
+    result: Dict[str, int] = {}
+    for name, cycles in reps.items():
+        actor = graph.actors[name]
+        phase_count = actor.phases
+        # Phases can also be implied by per-phase edge rates.
+        for edge in graph.out_edges(name):
+            if isinstance(edge.prod, (list, tuple)):
+                phase_count = max(phase_count, len(edge.prod))
+        for edge in graph.in_edges(name):
+            if isinstance(edge.cons, (list, tuple)):
+                phase_count = max(phase_count, len(edge.cons))
+        result[name] = cycles * phase_count
+    return result
+
+
+__all__ = ["InconsistentGraph", "consistency_check", "firings_per_iteration",
+           "repetition_vector"]

@@ -1,0 +1,215 @@
+"""Deterministic self-timed execution of (C)SDF graphs.
+
+Self-timed (= data-driven) execution fires every actor as soon as
+
+1. the actor's previous firing has finished (no auto-concurrency),
+2. every input edge holds enough tokens, and
+3. every *bounded* output edge has enough free space (back-pressure).
+
+This is exactly the execution model of the paper's section III: "the start
+of the execution of the tasks is triggered by the arrival of data".  Time
+is continuous; token availability is tracked with per-token timestamps so
+the schedule is exact, not quantized.
+
+The simulator also supports *timer-triggered* source/sink actors (periodic
+firing with a fixed period) so the time-triggered-vs-data-driven benches
+can build both system styles from one graph.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.dataflow.graph import Edge, SDFGraph
+
+
+@dataclass
+class FiringRecord:
+    """One completed actor firing."""
+
+    actor: str
+    index: int
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class SelfTimedResult:
+    """Outcome of a self-timed simulation."""
+
+    firings: List[FiringRecord] = field(default_factory=list)
+    firing_counts: Dict[str, int] = field(default_factory=dict)
+    end_time: float = 0.0
+    deadlocked: bool = False
+    blocked_on_space: Dict[str, int] = field(default_factory=dict)
+    blocked_on_tokens: Dict[str, int] = field(default_factory=dict)
+    # Edge-name -> number of scheduling scans in which that edge's lack of
+    # free space blocked its producer (drives the buffer-sizing heuristic).
+    edge_space_blocks: Dict[str, int] = field(default_factory=dict)
+
+    def firings_of(self, actor: str) -> List[FiringRecord]:
+        return [f for f in self.firings if f.actor == actor]
+
+    def start_times(self, actor: str) -> List[float]:
+        return [f.start for f in self.firings_of(actor)]
+
+
+class _EdgeState:
+    """Runtime state of one edge: token and space availability timestamps."""
+
+    def __init__(self, edge: Edge) -> None:
+        self.edge = edge
+        # Timestamp at which each queued token becomes available.
+        self.token_times: Deque[float] = deque([0.0] * edge.tokens)
+        # For bounded edges: timestamp at which each free slot opened.
+        if edge.capacity is not None:
+            free = edge.capacity - edge.tokens
+            if free < 0:
+                raise ValueError(
+                    f"edge {edge.name}: initial tokens exceed capacity")
+            self.space_times: Optional[Deque[float]] = deque([0.0] * free)
+        else:
+            self.space_times = None
+
+    def tokens_ready_at(self, count: int) -> Optional[float]:
+        """Earliest time ``count`` tokens are all available, or None."""
+        if count == 0:
+            return 0.0
+        if len(self.token_times) < count:
+            return None
+        return self.token_times[count - 1]
+
+    def space_ready_at(self, count: int) -> Optional[float]:
+        if self.space_times is None or count == 0:
+            return 0.0
+        if len(self.space_times) < count:
+            return None
+        return self.space_times[count - 1]
+
+    def consume(self, count: int, at: float) -> None:
+        for _ in range(count):
+            self.token_times.popleft()
+        if self.space_times is not None:
+            for _ in range(count):
+                self.space_times.append(at)
+
+    def produce(self, count: int, at: float) -> None:
+        for _ in range(count):
+            self.token_times.append(at)
+        if self.space_times is not None:
+            for _ in range(count):
+                self.space_times.popleft()
+
+
+def simulate_self_timed(graph: SDFGraph,
+                        horizon: float = float("inf"),
+                        max_firings: int = 100_000,
+                        periodic_actors: Optional[Dict[str, float]] = None,
+                        stop_after_iterations: Optional[int] = None,
+                        repetition: Optional[Dict[str, int]] = None) -> SelfTimedResult:
+    """Run self-timed execution and return the exact firing schedule.
+
+    ``periodic_actors`` maps actor names to periods: such an actor's k-th
+    firing may not *start* before ``k * period`` (a timer-triggered source
+    or sink).  If it also lacks tokens/space at that moment it blocks --
+    the wait-free analysis in :mod:`repro.dataflow.schedule_existence`
+    checks exactly whether that ever happens.
+
+    ``stop_after_iterations`` stops once every actor has fired
+    ``iterations * repetition[actor]`` times (requires ``repetition``).
+    """
+    periodic = dict(periodic_actors or {})
+    edge_states = {id(edge): _EdgeState(edge) for edge in graph.edges}
+    firing_index: Dict[str, int] = {name: 0 for name in graph.actors}
+    free_at: Dict[str, float] = {name: 0.0 for name in graph.actors}
+    result = SelfTimedResult()
+    result.firing_counts = {name: 0 for name in graph.actors}
+    result.blocked_on_space = {name: 0 for name in graph.actors}
+    result.blocked_on_tokens = {name: 0 for name in graph.actors}
+
+    in_edges = {name: graph.in_edges(name) for name in graph.actors}
+    out_edges = {name: graph.out_edges(name) for name in graph.actors}
+
+    target_counts: Optional[Dict[str, int]] = None
+    if stop_after_iterations is not None:
+        if repetition is None:
+            raise ValueError("stop_after_iterations requires repetition")
+        target_counts = {name: repetition[name] * stop_after_iterations
+                         for name in graph.actors}
+
+    completed = 0
+    while completed < max_firings:
+        if target_counts is not None and all(
+                result.firing_counts[name] >= target_counts[name]
+                for name in graph.actors):
+            break
+        # Find the actor that can fire earliest (deterministic tie-break by
+        # actor name).
+        best: Optional[Tuple[float, str]] = None
+        any_token_blocked = False
+        for name in graph.actors:
+            if target_counts is not None and \
+                    result.firing_counts[name] >= target_counts[name]:
+                continue
+            index = firing_index[name]
+            ready = free_at[name]
+            if name in periodic:
+                ready = max(ready, index * periodic[name])
+            blocked = False
+            for edge in in_edges[name]:
+                need = edge.cons_at(index)
+                available = edge_states[id(edge)].tokens_ready_at(need)
+                if available is None:
+                    blocked = True
+                    result.blocked_on_tokens[name] += 1
+                    break
+                ready = max(ready, available)
+            if blocked:
+                any_token_blocked = True
+                continue
+            for edge in out_edges[name]:
+                need = edge.prod_at(index)
+                available = edge_states[id(edge)].space_ready_at(need)
+                if available is None:
+                    blocked = True
+                    result.blocked_on_space[name] += 1
+                    result.edge_space_blocks[edge.name] = \
+                        result.edge_space_blocks.get(edge.name, 0) + 1
+                    break
+                ready = max(ready, available)
+            if blocked:
+                continue
+            if best is None or (ready, name) < best:
+                best = (ready, name)
+        if best is None:
+            result.deadlocked = any(
+                result.firing_counts[name] < (target_counts or {}).get(name, 1)
+                for name in graph.actors) if target_counts else True
+            break
+        start, name = best
+        if start > horizon:
+            break
+        index = firing_index[name]
+        duration = graph.actors[name].time_of_firing(index)
+        end = start + duration
+        for edge in in_edges[name]:
+            edge_states[id(edge)].consume(edge.cons_at(index), start)
+        for edge in out_edges[name]:
+            edge_states[id(edge)].produce(edge.prod_at(index), end)
+        firing_index[name] = index + 1
+        free_at[name] = end
+        result.firings.append(FiringRecord(name, index, start, end))
+        result.firing_counts[name] += 1
+        result.end_time = max(result.end_time, end)
+        completed += 1
+
+    return result
+
+
+__all__ = ["FiringRecord", "SelfTimedResult", "simulate_self_timed"]

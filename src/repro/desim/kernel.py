@@ -1,0 +1,319 @@
+"""The discrete-event simulator core.
+
+Processes are generators that yield scheduling requests:
+
+- ``yield Delay(t)`` -- resume after ``t`` time units;
+- ``yield WaitEvent(event)`` -- resume when the event triggers (the trigger
+  payload becomes the value of the yield expression);
+- ``yield WaitProcess(proc)`` -- resume when another process terminates.
+
+The kernel is deterministic: simultaneous wakeups execute in (priority,
+sequence-number) order, and event triggers resume waiters in registration
+order.  Determinism is essential for the paper's section-VII argument that a
+virtual platform reproduces concurrency bugs reliably.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, List, Optional
+
+from repro.desim.events import Event
+
+
+class Interrupted(Exception):
+    """Raised inside a process that was interrupted via Process.interrupt."""
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+@dataclass(frozen=True)
+class Delay:
+    """Scheduling request: resume the process after ``duration`` time units."""
+
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise ValueError(f"negative delay: {self.duration}")
+
+
+@dataclass(frozen=True)
+class WaitEvent:
+    """Scheduling request: resume when ``event`` triggers."""
+
+    event: Event
+
+
+@dataclass(frozen=True)
+class WaitProcess:
+    """Scheduling request: resume when ``process`` terminates."""
+
+    process: "Process"
+
+
+ProcessBody = Generator[Any, Any, Any]
+
+
+class Process:
+    """A simulation process wrapping a generator.
+
+    The process lifecycle is: created -> running/waiting -> terminated.  On
+    termination (normal return or exception) the :attr:`done` event fires
+    with the return value; ``WaitProcess`` waiters receive it.
+    """
+
+    _next_id = 0
+
+    def __init__(self, sim: "Simulator", body: ProcessBody, name: str = "",
+                 priority: int = 0) -> None:
+        Process._next_id += 1
+        self.pid = Process._next_id
+        self.sim = sim
+        self.body = body
+        self.name = name or f"proc{self.pid}"
+        self.priority = priority
+        self.alive = True
+        self.result: Any = None
+        self.error: Optional[BaseException] = None
+        self.done = Event(f"{self.name}.done")
+        self._pending_interrupt: Optional[Interrupted] = None
+        self._waiting_on: Optional[Event] = None
+        self._resume_handle: Optional[Callable[[Any], None]] = None
+        # Resume epoch: every actual resume bumps it, and every scheduled
+        # resume carries the epoch it was issued for.  A stale wakeup
+        # (e.g. the original timer of an interrupted Delay) then no longer
+        # matches and is discarded instead of double-resuming the process.
+        self._epoch = 0
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Schedule an :class:`Interrupted` to be thrown into the process.
+
+        If the process is currently waiting, it is detached from its wait
+        and resumed immediately (at the current simulation time).
+        """
+        if not self.alive:
+            return
+        self._pending_interrupt = Interrupted(cause)
+        if self._waiting_on is not None and self._resume_handle is not None:
+            self._waiting_on.remove_waiter(self._resume_handle)
+            self._waiting_on = None
+            self._resume_handle = None
+            self.sim._schedule_resume(self, None)
+        # A process waiting on a Delay is resumed when its timer fires; the
+        # interrupt is delivered then.  For prompt delivery the kernel also
+        # schedules an immediate resume:
+        elif self._resume_handle is None:
+            self.sim._schedule_resume(self, None)
+
+    def __repr__(self) -> str:
+        state = "alive" if self.alive else "done"
+        return f"Process({self.name!r}, pid={self.pid}, {state})"
+
+
+@dataclass(order=True)
+class _ScheduledItem:
+    time: float
+    priority: int
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Time is a monotonically non-decreasing float (integers work too and are
+    used as cycle counts by the virtual platform).
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._queue: List[_ScheduledItem] = []
+        self._seq = 0
+        self._running = False
+        self.processes: List[Process] = []
+        self.event_count = 0
+
+    # ------------------------------------------------------------------
+    # scheduling primitives
+    # ------------------------------------------------------------------
+    def at(self, time: float, action: Callable[[], None],
+           priority: int = 0) -> _ScheduledItem:
+        """Schedule a bare callback at an absolute time."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule in the past: {time} < {self.now}")
+        self._seq += 1
+        item = _ScheduledItem(time, priority, self._seq, action)
+        heapq.heappush(self._queue, item)
+        return item
+
+    def after(self, delay: float, action: Callable[[], None],
+              priority: int = 0) -> _ScheduledItem:
+        """Schedule a bare callback after a relative delay."""
+        return self.at(self.now + delay, action, priority)
+
+    def cancel(self, item: _ScheduledItem) -> None:
+        item.cancelled = True
+
+    # ------------------------------------------------------------------
+    # processes
+    # ------------------------------------------------------------------
+    def spawn(self, body: ProcessBody, name: str = "",
+              priority: int = 0, start_delay: float = 0.0) -> Process:
+        """Create a process from a generator and schedule its first step."""
+        proc = Process(self, body, name=name, priority=priority)
+        self.processes.append(proc)
+        self._schedule_resume(proc, None, delay=start_delay)
+        return proc
+
+    def _schedule_resume(self, proc: Process, value: Any,
+                         delay: float = 0.0) -> None:
+        expected = proc._epoch
+        self.at(self.now + delay,
+                lambda: self._step(proc, value, expected),
+                priority=proc.priority)
+
+    def _step(self, proc: Process, value: Any,
+              expected_epoch: Optional[int] = None) -> None:
+        """Advance a process by one yield."""
+        if not proc.alive:
+            return
+        if expected_epoch is not None and proc._epoch != expected_epoch:
+            return  # stale wakeup (process was interrupted meanwhile)
+        proc._epoch += 1
+        proc._waiting_on = None
+        proc._resume_handle = None
+        try:
+            if proc._pending_interrupt is not None:
+                exc = proc._pending_interrupt
+                proc._pending_interrupt = None
+                request = proc.body.throw(exc)
+            else:
+                request = proc.body.send(value)
+        except StopIteration as stop:
+            self._finish(proc, result=stop.value)
+            return
+        except Interrupted:
+            self._finish(proc, result=None)
+            return
+        except BaseException as error:  # noqa: BLE001 - surfaced to waiters
+            self._finish(proc, error=error)
+            return
+        self._dispatch_request(proc, request)
+
+    def _dispatch_request(self, proc: Process, request: Any) -> None:
+        if isinstance(request, Delay):
+            self._schedule_resume(proc, None, delay=request.duration)
+        elif isinstance(request, WaitEvent):
+            self._wait_on_event(proc, request.event)
+        elif isinstance(request, WaitProcess):
+            target = request.process
+            if not target.alive:
+                self._schedule_resume(proc, target.result)
+            else:
+                self._wait_on_event(proc, target.done)
+        elif isinstance(request, Event):
+            # Convenience: yielding a bare Event waits on it.
+            self._wait_on_event(proc, request)
+        else:
+            raise TypeError(
+                f"process {proc.name!r} yielded unsupported request "
+                f"{request!r}; expected Delay/WaitEvent/WaitProcess/Event")
+
+    def _wait_on_event(self, proc: Process, event: Event) -> None:
+        def resume(payload: Any) -> None:
+            self._schedule_resume(proc, payload)
+
+        proc._waiting_on = event
+        proc._resume_handle = resume
+        event.add_waiter(resume)
+
+    def _finish(self, proc: Process, result: Any = None,
+                error: Optional[BaseException] = None) -> None:
+        proc.alive = False
+        proc.result = result
+        proc.error = error
+        proc.done.trigger(result)
+        if error is not None:
+            raise error
+
+    def kill(self, proc: Process) -> None:
+        """Terminate a process without delivering an exception into it."""
+        if proc.alive:
+            if proc._waiting_on is not None and proc._resume_handle is not None:
+                proc._waiting_on.remove_waiter(proc._resume_handle)
+            proc.alive = False
+            proc.body.close()
+            proc.done.trigger(None)
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> float:
+        """Run until the queue drains, ``until`` is reached, or the event
+        budget is exhausted.  Returns the final simulation time."""
+        self._running = True
+        budget = max_events
+        while self._queue and self._running:
+            item = self._queue[0]
+            if item.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if until is not None and item.time > until:
+                self.now = until
+                break
+            heapq.heappop(self._queue)
+            self.now = item.time
+            self.event_count += 1
+            item.action()
+            if budget is not None:
+                budget -= 1
+                if budget <= 0:
+                    break
+        else:
+            drained = not self._queue
+            if drained and self._running and until is not None and self.now < until:
+                self.now = until
+        self._running = False
+        return self.now
+
+    def step(self) -> bool:
+        """Execute exactly one queued action.  Returns False if queue empty.
+
+        This is the hook the virtual-platform debugger uses for synchronous
+        system suspension: between two ``step`` calls the *entire* platform
+        is frozen and can be inspected consistently (paper section VII).
+        """
+        while self._queue:
+            item = heapq.heappop(self._queue)
+            if item.cancelled:
+                continue
+            self.now = item.time
+            self.event_count += 1
+            item.action()
+            return True
+        return False
+
+    def stop(self) -> None:
+        """Stop the run loop after the current action returns."""
+        self._running = False
+
+    @property
+    def pending(self) -> int:
+        return sum(1 for item in self._queue if not item.cancelled)
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next non-cancelled action, or None."""
+        for item in sorted(self._queue):
+            if not item.cancelled:
+                return item.time
+        return None
+
+
+__all__ = ["Delay", "Interrupted", "Process", "Simulator", "WaitEvent",
+           "WaitProcess"]

@@ -1,0 +1,138 @@
+"""Shared-resource primitives: counting resources and mutexes.
+
+These model the *shared platform resources* the paper's debugging section
+warns about (semaphores, memory controllers, DMAs shared across software
+stacks).  Acquisition order is FIFO and deterministic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Generator, List, Optional
+
+from repro.desim.events import Event
+from repro.desim.kernel import WaitEvent
+
+
+class Resource:
+    """Counting resource with FIFO granting.
+
+    Usage from process code::
+
+        yield from resource.acquire()
+        ...critical work...
+        resource.release()
+    """
+
+    def __init__(self, capacity: int = 1, name: str = "resource") -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.name = name
+        self.capacity = capacity
+        self.in_use = 0
+        self._released = Event(f"{name}.released")
+        self._wait_queue: Deque[int] = deque()
+        self._next_ticket = 0
+        self.total_acquisitions = 0
+        self.contention_count = 0
+
+    @property
+    def available(self) -> int:
+        return self.capacity - self.in_use
+
+    def acquire(self) -> Generator[Any, Any, None]:
+        """Block until a unit is available, honouring FIFO order."""
+        ticket = self._next_ticket
+        self._next_ticket += 1
+        self._wait_queue.append(ticket)
+        if self.in_use >= self.capacity or self._wait_queue[0] != ticket:
+            self.contention_count += 1
+        while self.in_use >= self.capacity or self._wait_queue[0] != ticket:
+            yield WaitEvent(self._released)
+        self._wait_queue.popleft()
+        self.in_use += 1
+        self.total_acquisitions += 1
+        # Wake the next ticket too, in case capacity > 1 admits it now.
+        self._released.trigger(None)
+
+    def try_acquire(self) -> bool:
+        """Non-blocking acquire; only succeeds when nobody is queued."""
+        if self.in_use < self.capacity and not self._wait_queue:
+            self.in_use += 1
+            self.total_acquisitions += 1
+            return True
+        return False
+
+    def release(self) -> None:
+        if self.in_use <= 0:
+            raise RuntimeError(f"release of idle resource {self.name!r}")
+        self.in_use -= 1
+        self._released.trigger(None)
+
+    def __repr__(self) -> str:
+        return f"Resource({self.name!r}, {self.in_use}/{self.capacity})"
+
+
+class PriorityResource:
+    """A serial resource granting by (priority, FIFO ticket).
+
+    Lower priority number = more urgent.  This is the dispatcher primitive
+    behind MVP's "scheduled dynamically according to their priority in
+    best effort manner" (paper section IV): a waiting high-priority task
+    is granted before earlier-queued low-priority ones (non-preemptive).
+    """
+
+    def __init__(self, name: str = "prio") -> None:
+        self.name = name
+        self.busy = False
+        self._released = Event(f"{name}.released")
+        self._queue: List[tuple] = []  # (priority, ticket)
+        self._next_ticket = 0
+        self.total_acquisitions = 0
+
+    def acquire(self, priority: int = 10) -> Generator[Any, Any, None]:
+        ticket = self._next_ticket
+        self._next_ticket += 1
+        entry = (priority, ticket)
+        self._queue.append(entry)
+        self._queue.sort()
+        while self.busy or self._queue[0] != entry:
+            yield WaitEvent(self._released)
+        self._queue.pop(0)
+        self.busy = True
+        self.total_acquisitions += 1
+
+    def release(self) -> None:
+        if not self.busy:
+            raise RuntimeError(f"release of idle resource {self.name!r}")
+        self.busy = False
+        self._released.trigger(None)
+
+    @property
+    def waiting(self) -> int:
+        return len(self._queue)
+
+
+class Mutex(Resource):
+    """Binary resource with owner tracking (lock-based synchronization).
+
+    The paper (section V) notes that "the current practice of embedded
+    software design is multithreaded programming with lock-based
+    synchronization" and that debugging it is extremely difficult; the
+    mutex records its acquisition history so benches can quantify contention.
+    """
+
+    def __init__(self, name: str = "mutex") -> None:
+        super().__init__(capacity=1, name=name)
+        self.owner: Optional[str] = None
+
+    def lock(self, owner: str = "?") -> Generator[Any, Any, None]:
+        yield from self.acquire()
+        self.owner = owner
+
+    def unlock(self) -> None:
+        self.owner = None
+        self.release()
+
+
+__all__ = ["Mutex", "PriorityResource", "Resource"]

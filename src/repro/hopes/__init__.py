@@ -1,0 +1,41 @@
+"""HOPES: retargetable embedded-software design via CIC (paper section V).
+
+The Common Intermediate Code (CIC) programming model: applications are
+concurrent tasks communicating through channels, written independently of
+the target architecture.  Target information lives in a separate XML
+architecture file.  The CIC *translator* synthesizes, per target, the
+inter-task interface code and a run-time system -- so the same CIC spec
+retargets from a Cell-like distributed-memory machine to an MPCore-like
+shared-memory SMP with **zero task-code changes** (the paper's H.264
+experiment, reproduced as E9).
+
+- :mod:`repro.hopes.cic` -- the CIC model (tasks, ports, channels);
+- :mod:`repro.hopes.archfile` -- the XML architecture-information file;
+- :mod:`repro.hopes.translator` -- CIC -> target-executable code;
+- :mod:`repro.hopes.runtime` -- the synthesized run-time system, executed
+  on the discrete-event kernel;
+- :mod:`repro.hopes.targets` -- the Cell-like and MPCore-like targets.
+"""
+
+from repro.hopes.cic import CICApplication, CICChannel, CICTask
+from repro.hopes.archfile import ArchInfo, ProcessorInfo, parse_arch_xml, to_arch_xml
+from repro.hopes.translator import CICTranslator, GeneratedTarget, TranslationError
+from repro.hopes.runtime import ExecutionReport, RuntimeSystem
+from repro.hopes.targets.mpcore import MPCoreTarget
+from repro.hopes.targets.cell import CellTarget
+from repro.hopes.frontend import cic_from_sdf, passthrough_body, sink_body, source_body
+from repro.hopes.explore import (
+    ExplorationResult,
+    cell_candidates,
+    explore_architectures,
+    smp_candidates,
+)
+
+__all__ = [
+    "ArchInfo", "ExplorationResult", "cell_candidates", "cic_from_sdf",
+    "passthrough_body", "sink_body", "source_body",
+    "explore_architectures", "smp_candidates", "CICApplication", "CICChannel", "CICTask", "CICTranslator",
+    "CellTarget", "ExecutionReport", "GeneratedTarget", "MPCoreTarget",
+    "ProcessorInfo", "RuntimeSystem", "TranslationError", "parse_arch_xml",
+    "to_arch_xml",
+]

@@ -1,0 +1,117 @@
+"""The XML architecture-information file (section V).
+
+"Information on the target architecture and the design constraints is
+separately described in an xml-style file, called the architecture
+information file."
+
+Example::
+
+    <architecture name="cellsim" model="distributed">
+      <processor name="ppe"  type="host"  freq="1.0"/>
+      <processor name="spe0" type="accel" freq="2.0" local_store="256"/>
+      <processor name="spe1" type="accel" freq="2.0" local_store="256"/>
+      <interconnect kind="dma" setup="40" per_word="0.5"/>
+      <constraints max_channel_capacity="16"/>
+    </architecture>
+
+:func:`parse_arch_xml` reads it into :class:`ArchInfo`;
+:func:`to_arch_xml` writes one back (round-trip tested).
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class ProcessorInfo:
+    """One processor entry of the architecture file."""
+
+    name: str
+    proc_type: str = "host"      # 'host' | 'smp' | 'accel'
+    freq: float = 1.0
+    local_store: Optional[int] = None  # words; None = shared memory only
+
+
+@dataclass
+class InterconnectInfo:
+    """Inter-processor communication parameters."""
+
+    kind: str = "bus"            # 'bus' | 'dma' | 'noc'
+    setup: float = 10.0          # cycles per transfer
+    per_word: float = 0.5        # cycles per word
+
+
+@dataclass
+class ArchInfo:
+    """Parsed architecture information."""
+
+    name: str
+    model: str = "shared"        # 'shared' | 'distributed'
+    processors: List[ProcessorInfo] = field(default_factory=list)
+    interconnect: InterconnectInfo = field(default_factory=InterconnectInfo)
+    constraints: Dict[str, float] = field(default_factory=dict)
+
+    def processor(self, name: str) -> ProcessorInfo:
+        for proc in self.processors:
+            if proc.name == name:
+                return proc
+        raise KeyError(f"no processor {name!r}")
+
+    def processor_names(self) -> List[str]:
+        return [proc.name for proc in self.processors]
+
+
+def parse_arch_xml(text: str) -> ArchInfo:
+    """Parse an architecture-information XML document."""
+    root = ET.fromstring(text)
+    if root.tag != "architecture":
+        raise ValueError(f"expected <architecture>, got <{root.tag}>")
+    info = ArchInfo(name=root.get("name", "arch"),
+                    model=root.get("model", "shared"))
+    for element in root:
+        if element.tag == "processor":
+            local_store = element.get("local_store")
+            info.processors.append(ProcessorInfo(
+                name=element.get("name", f"proc{len(info.processors)}"),
+                proc_type=element.get("type", "host"),
+                freq=float(element.get("freq", "1.0")),
+                local_store=int(local_store) if local_store else None))
+        elif element.tag == "interconnect":
+            info.interconnect = InterconnectInfo(
+                kind=element.get("kind", "bus"),
+                setup=float(element.get("setup", "10")),
+                per_word=float(element.get("per_word", "0.5")))
+        elif element.tag == "constraints":
+            info.constraints = {key: float(value)
+                                for key, value in element.attrib.items()}
+        else:
+            raise ValueError(f"unknown element <{element.tag}>")
+    if not info.processors:
+        raise ValueError("architecture file declares no processors")
+    return info
+
+
+def to_arch_xml(info: ArchInfo) -> str:
+    """Serialize an :class:`ArchInfo` back to XML."""
+    root = ET.Element("architecture", name=info.name, model=info.model)
+    for proc in info.processors:
+        attrs = {"name": proc.name, "type": proc.proc_type,
+                 "freq": str(proc.freq)}
+        if proc.local_store is not None:
+            attrs["local_store"] = str(proc.local_store)
+        ET.SubElement(root, "processor", **attrs)
+    ET.SubElement(root, "interconnect", kind=info.interconnect.kind,
+                  setup=str(info.interconnect.setup),
+                  per_word=str(info.interconnect.per_word))
+    if info.constraints:
+        ET.SubElement(root, "constraints",
+                      **{key: str(value)
+                         for key, value in info.constraints.items()})
+    return ET.tostring(root, encoding="unicode")
+
+
+__all__ = ["ArchInfo", "InterconnectInfo", "ProcessorInfo", "parse_arch_xml",
+           "to_arch_xml"]

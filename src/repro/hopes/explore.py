@@ -1,0 +1,151 @@
+"""Architecture exploration over CIC applications.
+
+Section V lists this explicitly as future work: "There are many issues to
+be researched further in the future, which include optimal mapping of CIC
+tasks to a given target architecture, **exploration of optimal target
+architecture**, and optimizing the CIC translator for specific target
+architectures."
+
+Because the architecture lives in a separate XML file, exploration is just
+a loop: generate candidate architecture files, translate the *unchanged*
+CIC spec for each, run, and keep the Pareto front of (hardware cost,
+end-to-end time).  This module does exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.hopes.archfile import ArchInfo, InterconnectInfo, ProcessorInfo
+from repro.hopes.cic import CICApplication
+from repro.hopes.runtime import ExecutionReport
+from repro.hopes.translator import CICTranslator, TranslationError
+
+
+@dataclass
+class CandidatePoint:
+    """One evaluated architecture."""
+
+    arch: ArchInfo
+    hardware_cost: float
+    end_time: float
+    mapping: Dict[str, str]
+    report: ExecutionReport
+    feasible: bool = True
+
+    @property
+    def label(self) -> str:
+        return self.arch.name
+
+
+DEFAULT_COSTS = {"host": 4.0, "smp": 2.0, "accel": 1.0}
+
+
+def hardware_cost(arch: ArchInfo,
+                  costs: Optional[Dict[str, float]] = None) -> float:
+    """Area/cost model: per-processor class cost scaled by frequency, plus
+    local store at 1/1024 per word."""
+    costs = costs or DEFAULT_COSTS
+    total = 0.0
+    for proc in arch.processors:
+        total += costs.get(proc.proc_type, 2.0) * proc.freq
+        if proc.local_store:
+            total += proc.local_store / 1024.0
+    return total
+
+
+def smp_candidates(max_cpus: int = 4, freq: float = 1.0) -> List[ArchInfo]:
+    """Shared-memory candidates: 1..max_cpus identical CPUs."""
+    result = []
+    for n in range(1, max_cpus + 1):
+        arch = ArchInfo(name=f"smp{n}", model="shared",
+                        interconnect=InterconnectInfo("bus", 12.0, 0.25))
+        for index in range(n):
+            arch.processors.append(ProcessorInfo(f"cpu{index}", "smp", freq))
+        result.append(arch)
+    return result
+
+
+def cell_candidates(max_spes: int = 4, local_store: int = 2048,
+                    spe_freq: float = 2.0) -> List[ArchInfo]:
+    """Distributed candidates: one host + 1..max_spes accelerators."""
+    result = []
+    for n in range(1, max_spes + 1):
+        arch = ArchInfo(name=f"cell{n}", model="distributed",
+                        interconnect=InterconnectInfo("dma", 60.0, 0.5))
+        arch.processors.append(ProcessorInfo("ppe", "host", 1.0))
+        for index in range(n):
+            arch.processors.append(ProcessorInfo(f"spe{index}", "accel",
+                                                 spe_freq, local_store))
+        result.append(arch)
+    return result
+
+
+@dataclass
+class ExplorationResult:
+    """All evaluated points plus the Pareto front."""
+
+    points: List[CandidatePoint] = field(default_factory=list)
+    pareto: List[CandidatePoint] = field(default_factory=list)
+    infeasible: List[str] = field(default_factory=list)
+
+    def best_under_cost(self, budget: float) -> Optional[CandidatePoint]:
+        affordable = [p for p in self.pareto if p.hardware_cost <= budget]
+        if not affordable:
+            return None
+        return min(affordable, key=lambda p: p.end_time)
+
+    def fastest(self) -> Optional[CandidatePoint]:
+        if not self.points:
+            return None
+        return min(self.points, key=lambda p: p.end_time)
+
+
+def explore_architectures(app_factory: Callable[[], CICApplication],
+                          candidates: List[ArchInfo],
+                          iterations: int = 20,
+                          costs: Optional[Dict[str, float]] = None) -> ExplorationResult:
+    """Translate + run the app on every candidate; return the Pareto front
+    of (hardware cost, end time).
+
+    ``app_factory`` builds a fresh CIC application per candidate (task
+    state lives in interpreters, so each run needs its own).  Candidates
+    whose constraints cannot be satisfied are recorded as infeasible, not
+    errors -- an explorer must survive bad corners of the space.
+    """
+    result = ExplorationResult()
+    for arch in candidates:
+        app = app_factory()
+        try:
+            translator = CICTranslator(app, arch)
+            generated = translator.translate()
+            report = generated.run(iterations=iterations)
+        except (TranslationError, ValueError) as error:
+            result.infeasible.append(f"{arch.name}: {error}")
+            continue
+        result.points.append(CandidatePoint(
+            arch, hardware_cost(arch, costs), report.end_time,
+            generated.mapping, report))
+    result.pareto = _pareto_front(result.points)
+    return result
+
+
+def _pareto_front(points: List[CandidatePoint]) -> List[CandidatePoint]:
+    """Minimize both (hardware_cost, end_time)."""
+    front: List[CandidatePoint] = []
+    for point in sorted(points, key=lambda p: (p.hardware_cost, p.end_time)):
+        if all(point.end_time < other.end_time + 1e-9 or
+               point.hardware_cost < other.hardware_cost - 1e-9
+               for other in front):
+            dominated = any(
+                other.hardware_cost <= point.hardware_cost + 1e-9 and
+                other.end_time <= point.end_time + 1e-9
+                for other in front)
+            if not dominated:
+                front.append(point)
+    return front
+
+
+__all__ = ["CandidatePoint", "ExplorationResult", "cell_candidates",
+           "explore_architectures", "hardware_cost", "smp_candidates"]

@@ -1,0 +1,228 @@
+"""The synthesized CIC run-time system (section V).
+
+"The CIC translation involves synthesizing the interface code between
+tasks and a run-time system that schedules the mapped tasks."
+
+The runtime executes a CIC application on the discrete-event kernel:
+
+- each channel becomes a bounded FIFO (back-pressure);
+- each task becomes a process that, per firing, prefetches one token per
+  in-port, interprets ``task_go`` (its cost in interpreter operations is
+  scaled by the host processor's frequency), then pushes out-tokens paying
+  the *target-specific* transfer cost;
+- timer-driven tasks (``period`` annotation) are released periodically --
+  "based on the period and deadline information of tasks, the run-time
+  system is synthesized";
+- a task's interpreter persists across firings, so task state (globals in
+  its mini-C source) behaves like static C state.
+
+The target object supplies only costs and constraint checks -- the same
+runtime executes every target, which is precisely the CIC retargetability
+argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Protocol
+
+from repro.desim import Delay, Fifo, Resource, Simulator
+from repro.cir.interp import Interpreter
+from repro.hopes.archfile import ArchInfo, ProcessorInfo
+from repro.hopes.cic import CICApplication, CICChannel, CICTask
+
+
+class Target(Protocol):
+    """What a CIC backend must provide."""
+
+    name: str
+
+    def transfer_cost(self, channel: CICChannel, src: ProcessorInfo,
+                      dst: ProcessorInfo) -> float: ...
+
+    def invocation_overhead(self, proc: ProcessorInfo) -> float: ...
+
+    def validate(self, app: CICApplication, arch: ArchInfo,
+                 mapping: Dict[str, str]) -> List[str]: ...
+
+    def glue_code(self, app: CICApplication, arch: ArchInfo,
+                  mapping: Dict[str, str]) -> Dict[str, str]: ...
+
+
+@dataclass
+class TaskStats:
+    """Per-task execution statistics."""
+
+    firings: int = 0
+    ops: int = 0
+    busy_time: float = 0.0
+    deadline_misses: int = 0
+
+
+@dataclass
+class ExecutionReport:
+    """Result of running a CIC application on a target."""
+
+    target: str
+    end_time: float = 0.0
+    sink_outputs: Dict[str, List[Any]] = field(default_factory=dict)
+    task_stats: Dict[str, TaskStats] = field(default_factory=dict)
+    channel_occupancy: Dict[str, int] = field(default_factory=dict)
+    transfer_cycles: float = 0.0
+    proc_busy: Dict[str, float] = field(default_factory=dict)
+    requested_iterations: int = 0
+    # Tasks that did not reach the requested firing count when the system
+    # went idle: the application deadlocked (e.g. a tokenless feedback
+    # cycle or an undersized channel loop).
+    starved_tasks: List[str] = field(default_factory=list)
+
+    @property
+    def deadlocked(self) -> bool:
+        return bool(self.starved_tasks)
+
+    def output_of(self, task: str) -> List[Any]:
+        return self.sink_outputs.get(task, [])
+
+
+# Abstract interpreter ops per simulated cycle on a 1.0x processor.
+OPS_PER_CYCLE = 1.0
+
+
+class RuntimeSystem:
+    """Executable instance of one CIC application on one target."""
+
+    def __init__(self, app: CICApplication, arch: ArchInfo,
+                 mapping: Dict[str, str], target: Target) -> None:
+        app.validate()
+        missing = set(app.tasks) - set(mapping)
+        if missing:
+            raise ValueError(f"unmapped tasks: {sorted(missing)}")
+        for task, proc in mapping.items():
+            arch.processor(proc)  # raises on unknown processor
+        violations = target.validate(app, arch, mapping)
+        if violations:
+            raise ValueError(f"target constraints violated: {violations}")
+        self.app = app
+        self.arch = arch
+        self.mapping = dict(mapping)
+        self.target = target
+
+    def run(self, iterations: int,
+            horizon: float = float("inf")) -> ExecutionReport:
+        """Fire every task ``iterations`` times (single-rate CIC graphs)."""
+        sim = Simulator()
+        report = ExecutionReport(self.target.name)
+        fifos: Dict[str, Fifo] = {}
+        for channel in self.app.channels:
+            fifo = Fifo(capacity=channel.capacity, name=channel.name)
+            for token in channel.initial_tokens:
+                fifo.put_nowait(token)
+            fifos[channel.name] = fifo
+
+        # One execution unit per processor: tasks mapped to the same
+        # processor serialize (the synthesized runtime schedules them).
+        processors = {proc.name: Resource(1, name=proc.name)
+                      for proc in self.arch.processors}
+        for task_name, task in self.app.tasks.items():
+            report.task_stats[task_name] = TaskStats()
+            report.sink_outputs[task_name] = []
+            sim.spawn(self._task_process(sim, task, fifos, report,
+                                         iterations,
+                                         processors[self.mapping[task.name]]),
+                      name=task_name)
+        sim.run(until=horizon if horizon != float("inf") else None)
+        report.end_time = sim.now
+        report.requested_iterations = iterations
+        report.channel_occupancy = {name: fifo.max_occupancy
+                                    for name, fifo in fifos.items()}
+        report.starved_tasks = sorted(
+            name for name, stats in report.task_stats.items()
+            if stats.firings < iterations)
+        return report
+
+    # ------------------------------------------------------------------
+    def _task_process(self, sim: Simulator, task: CICTask,
+                      fifos: Dict[str, Fifo], report: ExecutionReport,
+                      iterations: int, processor: Resource):
+        proc = self.arch.processor(self.mapping[task.name])
+        stats = report.task_stats[task.name]
+        in_channels = {c.dst_port: c for c in self.app.in_channels(task.name)}
+        out_channels: Dict[str, List[CICChannel]] = {}
+        for channel in self.app.out_channels(task.name):
+            out_channels.setdefault(channel.src_port, []).append(channel)
+
+        tokens: Dict[int, Any] = {}
+        outbox: List[Any] = []
+
+        def read_port(index: int) -> Any:
+            if index not in tokens:
+                raise RuntimeError(
+                    f"{task.name}: read_port({index}) but port has no "
+                    f"prefetched token (port not connected?)")
+            return tokens[index]
+
+        def write_port(index: int, value: Any) -> int:
+            outbox.append((index, value))
+            return 0
+
+        def emit(value: Any) -> int:
+            report.sink_outputs[task.name].append(value)
+            return 0
+
+        interp = Interpreter(task.program, externals={
+            "read_port": read_port, "write_port": write_port, "emit": emit})
+
+        if task.program.has_function("task_init"):
+            ops_before = interp.op_count
+            interp.call("task_init", [])
+            cost = (interp.op_count - ops_before) / (OPS_PER_CYCLE * proc.freq)
+            if cost > 0:
+                yield from processor.acquire()
+                yield Delay(cost)
+                processor.release()
+                stats.busy_time += cost
+
+        for firing in range(iterations):
+            if task.period is not None:
+                release = firing * task.period
+                if release > sim.now:
+                    yield Delay(release - sim.now)
+            release_time = sim.now
+            # Prefetch one token per in-port (dataflow firing rule).
+            tokens.clear()
+            for port_name, channel in in_channels.items():
+                value = yield from fifos[channel.name].get()
+                tokens[task.in_ports.index(port_name)] = value
+            outbox.clear()
+            ops_before = interp.op_count
+            interp.call("task_go", [])
+            ops = interp.op_count - ops_before
+            cost = ops / (OPS_PER_CYCLE * proc.freq) + \
+                self.target.invocation_overhead(proc)
+            yield from processor.acquire()
+            yield Delay(cost)
+            processor.release()
+            stats.busy_time += cost
+            stats.ops += ops
+            stats.firings += 1
+            report.proc_busy[proc.name] = \
+                report.proc_busy.get(proc.name, 0.0) + cost
+            # Deliver out-tokens with target transfer costs.
+            for index, value in outbox:
+                port_name = task.out_ports[index]
+                for channel in out_channels.get(port_name, []):
+                    dst_proc = self.arch.processor(
+                        self.mapping[channel.dst_task])
+                    transfer = self.target.transfer_cost(channel, proc,
+                                                         dst_proc)
+                    report.transfer_cycles += transfer
+                    if transfer > 0:
+                        yield Delay(transfer)
+                    yield from fifos[channel.name].put(value)
+            if task.deadline is not None and \
+                    sim.now - release_time > task.deadline + 1e-9:
+                stats.deadline_misses += 1
+
+
+__all__ = ["ExecutionReport", "OPS_PER_CYCLE", "RuntimeSystem", "Target",
+           "TaskStats"]

@@ -1,0 +1,13 @@
+"""CIC translation targets.
+
+Two architecturally opposed backends demonstrate CIC retargetability
+(section V): :class:`~repro.hopes.targets.cell.CellTarget` (distributed
+local stores, DMA transfers) and
+:class:`~repro.hopes.targets.mpcore.MPCoreTarget` (shared memory, lock-
+protected queues).
+"""
+
+from repro.hopes.targets.cell import CellTarget
+from repro.hopes.targets.mpcore import MPCoreTarget
+
+__all__ = ["CellTarget", "MPCoreTarget"]

@@ -1,0 +1,39 @@
+"""Many-core HW + OS model (paper section II).
+
+Section II argues for:
+
+- homogeneous-ISA cores with per-core frequency variability
+  (:mod:`repro.manycore.machine`, :mod:`repro.manycore.freq_governor`);
+- an OS mixing **time-shared** and **space-shared** scheduling
+  (:mod:`repro.manycore.os_scheduler`);
+- strict on-chip memory locality with message-based decoupling
+  (:mod:`repro.manycore.memory`, :mod:`repro.manycore.messaging`);
+- a programming model of internally sequential actors communicating by
+  asynchronous messages (:mod:`repro.manycore.actors`).
+
+The E1-E3 and A1 benches run on these models.
+"""
+
+from repro.manycore.machine import Core, Machine, mesh_distance
+from repro.manycore.freq_governor import FrequencyGovernor, amdahl_speedup
+from repro.manycore.os_scheduler import (
+    AppSpec,
+    AppResult,
+    ScheduleOutcome,
+    expand_periodic,
+    run_hybrid,
+    run_space_shared,
+    run_time_shared,
+)
+from repro.manycore.memory import LocalityModel, MemoryAccessPlan, PrefetchPlan
+from repro.manycore.messaging import Message, NoCModel
+from repro.manycore.actors import ActorSystem, SequentialActor
+
+__all__ = [
+    "ActorSystem", "AppResult", "AppSpec", "Core", "FrequencyGovernor",
+    "LocalityModel", "Machine", "MemoryAccessPlan", "Message", "NoCModel",
+    "PrefetchPlan",
+    "ScheduleOutcome", "SequentialActor", "amdahl_speedup",
+    "expand_periodic", "mesh_distance",
+    "run_hybrid", "run_space_shared", "run_time_shared",
+]

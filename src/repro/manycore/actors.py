@@ -1,0 +1,114 @@
+"""Actor framework: internally sequential, asynchronously communicating
+components (section II programming model).
+
+"a flat, de-coupled software architecture made up of asynchronously
+communicating, internally sequential components" -- the section-II
+conclusion.  A :class:`SequentialActor` owns one core, processes one
+message at a time to completion (run-to-completion semantics), and talks
+to other actors only through the NoC.  No locks exist anywhere in the
+model; determinism per actor follows from single-threaded execution.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.desim import Delay, Simulator
+from repro.manycore.machine import Machine
+from repro.manycore.messaging import Message, NoCModel
+
+Handler = Callable[["SequentialActor", Message], Any]
+
+
+class SequentialActor:
+    """One actor pinned to one core.
+
+    Handlers are registered per message tag with :meth:`on`.  A handler may
+    call :meth:`send` (asynchronous, never blocks) and :meth:`compute`
+    (advances simulated time by ``work / core.freq``).  Each message is
+    handled to completion before the next is dequeued -- there is no
+    intra-actor concurrency, which is what makes the model deterministic
+    and lock-free.
+    """
+
+    def __init__(self, system: "ActorSystem", core_id: int,
+                 name: str = "") -> None:
+        self.system = system
+        self.core_id = core_id
+        self.name = name or f"actor{core_id}"
+        self.handlers: Dict[str, Handler] = {}
+        self.messages_handled = 0
+        self.state: Dict[str, Any] = {}
+        self._pending_work = 0.0
+        self.stopped = False
+
+    def on(self, tag: str, handler: Handler) -> None:
+        self.handlers[tag] = handler
+
+    def send(self, dst_actor: "SequentialActor", payload: Any,
+             size_words: int = 1, tag: str = "msg") -> None:
+        self.system.noc.send(self.core_id, dst_actor.core_id, payload,
+                             size_words, tag)
+
+    def compute(self, work: float) -> None:
+        """Accumulate computation time, applied before the handler returns."""
+        self._pending_work += work
+
+    def stop(self) -> None:
+        self.stopped = True
+
+    def _run(self):
+        mailbox = self.system.noc.mailbox(self.core_id)
+        core = self.system.machine.cores[self.core_id]
+        while not self.stopped:
+            _, message = yield from mailbox.receive()
+            handler = self.handlers.get(message.tag)
+            if handler is None:
+                self.system.dead_letters.append(message)
+                continue
+            self._pending_work = 0.0
+            handler(self, message)
+            self.messages_handled += 1
+            if self._pending_work > 0:
+                yield Delay(self._pending_work / core.freq)
+
+
+class ActorSystem:
+    """A set of actors over one machine and one NoC."""
+
+    def __init__(self, machine: Machine,
+                 sim: Optional[Simulator] = None,
+                 noc_kwargs: Optional[Dict[str, float]] = None) -> None:
+        self.sim = sim or Simulator()
+        self.machine = machine
+        self.noc = NoCModel(self.sim, machine, **(noc_kwargs or {}))
+        self.actors: Dict[str, SequentialActor] = {}
+        self.dead_letters: List[Message] = []
+        self._used_cores: set = set()
+
+    def actor(self, name: str, core_id: Optional[int] = None) -> SequentialActor:
+        """Create (and start) an actor on a dedicated core."""
+        if name in self.actors:
+            raise ValueError(f"duplicate actor {name!r}")
+        if core_id is None:
+            core_id = next(c.core_id for c in self.machine.cores
+                           if c.core_id not in self._used_cores)
+        if core_id in self._used_cores:
+            raise ValueError(f"core {core_id} already hosts an actor")
+        self._used_cores.add(core_id)
+        actor = SequentialActor(self, core_id, name)
+        self.actors[name] = actor
+        self.sim.spawn(actor._run(), name=name)
+        return actor
+
+    def inject(self, dst: SequentialActor, payload: Any,
+               tag: str = "msg", size_words: int = 1) -> None:
+        """Send a message from 'outside' (core id of destination used as
+        source; zero-distance)."""
+        self.noc.send(dst.core_id, dst.core_id, payload, size_words, tag)
+
+    def run(self, until: Optional[float] = None) -> float:
+        return self.sim.run(until=until)
+
+
+__all__ = ["ActorSystem", "Handler", "SequentialActor"]

@@ -1,0 +1,138 @@
+"""Per-core frequency governor (section II).
+
+"The frequency at which each core executes shall be modifiable at a
+fine-grain level during program execution and according to the needs of the
+executing application(s)" -- in particular, boosting the core that runs a
+sequential phase mitigates Amdahl's law for legacy single-threaded code.
+
+The governor enforces the machine's power budget: boosting one core may
+require throttling others (a simple sum-of-frequencies budget model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.manycore.machine import Core, Machine
+
+
+def amdahl_speedup(n_cores: int, serial_fraction: float,
+                   serial_boost: float = 1.0) -> float:
+    """Analytic speedup of an app with the given serial fraction on
+    ``n_cores``, with the serial phase boosted by ``serial_boost``.
+
+    speedup = 1 / (s / boost + (1 - s) / n)
+    """
+    if not 0.0 <= serial_fraction <= 1.0:
+        raise ValueError("serial_fraction must be in [0, 1]")
+    if n_cores < 1 or serial_boost <= 0:
+        raise ValueError("invalid core count or boost")
+    serial = serial_fraction / serial_boost
+    parallel = (1.0 - serial_fraction) / n_cores
+    return 1.0 / (serial + parallel)
+
+
+@dataclass
+class BoostLease:
+    """A granted frequency boost, to be released when the phase ends."""
+
+    core: Core
+    previous_freq: float
+    throttled: List[Tuple[Core, float]] = field(default_factory=list)
+
+
+class FrequencyGovernor:
+    """Reactive frequency manager over one machine.
+
+    :meth:`boost` raises one core's frequency for a sequential phase,
+    throttling idle cores if needed to stay inside the power budget;
+    :meth:`release` restores the previous state.
+    """
+
+    def __init__(self, machine: Machine) -> None:
+        self.machine = machine
+        self.boosts_granted = 0
+        self.boosts_denied = 0
+
+    def headroom(self) -> float:
+        if self.machine.power_budget is None:
+            return float("inf")
+        return self.machine.power_budget - self.machine.total_frequency
+
+    def boost(self, core: Core, target_freq: float,
+              throttleable: Optional[List[Core]] = None) -> Optional[BoostLease]:
+        """Try to raise ``core`` to ``target_freq``.
+
+        Returns a :class:`BoostLease` on success (restore with
+        :meth:`release`), or ``None`` when the budget cannot accommodate
+        the boost even after throttling the given idle cores to 0.1x.
+        """
+        if target_freq > core.max_freq + 1e-12:
+            self.boosts_denied += 1
+            return None
+        lease = BoostLease(core, core.freq)
+        needed = target_freq - core.freq
+        if self.machine.power_budget is not None:
+            available = self.headroom()
+            candidates = [c for c in (throttleable or [])
+                          if c.core_id != core.core_id]
+            index = 0
+            while available < needed and index < len(candidates):
+                victim = candidates[index]
+                reclaim = victim.freq - 0.1
+                if reclaim > 0:
+                    lease.throttled.append((victim, victim.freq))
+                    victim.freq = 0.1
+                    available += reclaim
+                index += 1
+            if available < needed - 1e-12:
+                for victim, old in lease.throttled:
+                    victim.freq = old
+                self.boosts_denied += 1
+                return None
+        core.freq = target_freq
+        self.machine.check_power()
+        self.boosts_granted += 1
+        return lease
+
+    def release(self, lease: BoostLease) -> None:
+        lease.core.freq = lease.previous_freq
+        for victim, old in lease.throttled:
+            victim.freq = old
+
+    def run_amdahl_phase_model(self, serial_work: float, parallel_work: float,
+                               n_workers: int, boost_to: float) -> Dict[str, float]:
+        """Makespan of serial-then-parallel execution with and without a
+        serial-phase boost (used by the E2 bench).
+
+        Returns a dict with ``boosted`` / ``unboosted`` makespans and the
+        achieved speedup ratio.
+        """
+        if n_workers < 1 or n_workers > self.machine.n_cores:
+            raise ValueError("invalid worker count")
+        serial_core = self.machine.cores[0]
+        workers = self.machine.cores[:n_workers]
+
+        base_serial = serial_core.cycles_for(serial_work)
+        parallel_share = parallel_work / n_workers
+        base_parallel = max(core.cycles_for(parallel_share)
+                            for core in workers)
+        unboosted = base_serial + base_parallel
+
+        lease = self.boost(serial_core, boost_to,
+                           throttleable=self.machine.cores[1:])
+        if lease is None:
+            boosted = unboosted
+        else:
+            boosted_serial = serial_core.cycles_for(serial_work)
+            self.release(lease)
+            boosted = boosted_serial + base_parallel
+        return {
+            "unboosted": unboosted,
+            "boosted": boosted,
+            "speedup": unboosted / boosted if boosted else float("inf"),
+        }
+
+
+__all__ = ["BoostLease", "FrequencyGovernor", "amdahl_speedup"]

@@ -1,0 +1,134 @@
+"""Chip-level machine model: cores, ISAs, frequency, mesh geometry.
+
+Section II: "the design shall avoid any centralized constructs and rely
+instead on a fully distributed, homogeneous approach, including L1 and L2
+cache / local memory -- i.e., L2 cache / local memory shall be bound to
+cores."  A :class:`Machine` is a grid of :class:`Core` objects, each with
+its own local store; inter-core distance follows the mesh.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class Core:
+    """One processing core.
+
+    ``freq`` is a speed multiplier relative to the base core (1.0).  The
+    frequency governor may change it at runtime within the machine's power
+    budget -- section II's "frequency variability per core".
+    """
+
+    core_id: int
+    isa: str = "isa0"
+    freq: float = 1.0
+    max_freq: float = 4.0
+    local_memory_words: int = 1 << 16
+
+    def __post_init__(self) -> None:
+        if self.freq <= 0:
+            raise ValueError("freq must be positive")
+
+    def cycles_for(self, work: float) -> float:
+        """Wall time to execute ``work`` base-core units at current freq."""
+        return work / self.freq
+
+    def __repr__(self) -> str:
+        return f"Core({self.core_id}, isa={self.isa}, f={self.freq:g})"
+
+
+def mesh_distance(core_a: int, core_b: int, width: int) -> int:
+    """Manhattan hop distance between two cores on a ``width``-wide mesh."""
+    ax, ay = core_a % width, core_a // width
+    bx, by = core_b % width, core_b // width
+    return abs(ax - bx) + abs(ay - by)
+
+
+@dataclass
+class Machine:
+    """A many-core chip.
+
+    ``isa_map`` assigns ISAs to cores; the default is fully homogeneous.
+    A heterogeneous machine (for the E1 comparison) is built with
+    :meth:`heterogeneous`.
+    """
+
+    n_cores: int
+    mesh_width: Optional[int] = None
+    power_budget: Optional[float] = None  # sum of freq allowed, None = inf
+    cores: List[Core] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.n_cores < 1:
+            raise ValueError("need at least one core")
+        if self.mesh_width is None:
+            self.mesh_width = max(1, int(math.isqrt(self.n_cores)))
+        if not self.cores:
+            self.cores = [Core(i) for i in range(self.n_cores)]
+
+    @classmethod
+    def homogeneous(cls, n_cores: int, freq: float = 1.0,
+                    power_budget: Optional[float] = None) -> "Machine":
+        machine = cls(n_cores, power_budget=power_budget)
+        for core in machine.cores:
+            core.freq = freq
+        return machine
+
+    @classmethod
+    def heterogeneous(cls, n_cores: int, isa_split: Dict[str, float],
+                      freqs: Optional[Dict[str, float]] = None) -> "Machine":
+        """A machine whose cores are statically partitioned between ISAs.
+
+        ``isa_split`` maps ISA name to the fraction of cores it receives;
+        fractions must sum to 1.  This is the "a priori partitioning of the
+        functionality to different types of HW" that section II argues
+        inhibits scalability.
+        """
+        total = sum(isa_split.values())
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"isa fractions must sum to 1, got {total}")
+        machine = cls(n_cores)
+        freqs = freqs or {}
+        assigned = 0
+        items = sorted(isa_split.items())
+        for index, (isa, fraction) in enumerate(items):
+            count = (n_cores - assigned if index == len(items) - 1
+                     else int(round(fraction * n_cores)))
+            for core in machine.cores[assigned:assigned + count]:
+                core.isa = isa
+                core.freq = freqs.get(isa, 1.0)
+            assigned += count
+        return machine
+
+    def cores_with_isa(self, isa: str) -> List[Core]:
+        return [core for core in self.cores if core.isa == isa]
+
+    @property
+    def is_homogeneous(self) -> bool:
+        return len({core.isa for core in self.cores}) == 1
+
+    @property
+    def total_frequency(self) -> float:
+        return sum(core.freq for core in self.cores)
+
+    def distance(self, core_a: int, core_b: int) -> int:
+        return mesh_distance(core_a, core_b, self.mesh_width or 1)
+
+    def check_power(self) -> None:
+        """Raise if current per-core frequencies exceed the power budget."""
+        if self.power_budget is not None and \
+                self.total_frequency > self.power_budget + 1e-9:
+            raise ValueError(
+                f"power budget exceeded: {self.total_frequency:g} > "
+                f"{self.power_budget:g}")
+
+    def __repr__(self) -> str:
+        isas = sorted({core.isa for core in self.cores})
+        return f"Machine({self.n_cores} cores, isas={isas})"
+
+
+__all__ = ["Core", "Machine", "mesh_distance"]

@@ -1,0 +1,158 @@
+"""Memory locality model (section II).
+
+"When it comes to memory management, we believe a key characteristic shall
+be the strict enforcement of locality, at least for on-chip memory."
+
+The model compares two disciplines for a task that needs data owned by
+another core:
+
+- **remote access**: every access pays the NoC round-trip for its word
+  (the shared-memory style section II argues against);
+- **enforced locality**: the data is first transferred in bulk by an
+  asynchronous message (setup cost amortized over the block), after which
+  all accesses are local.
+
+The A1 ablation bench sweeps access counts and distances and shows the
+crossover: beyond a handful of accesses, enforced locality wins, and its
+advantage grows with core count (= average distance).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.manycore.machine import Machine
+
+
+@dataclass
+class LocalityModel:
+    """Latency parameters, in base-core cycles."""
+
+    local_latency: float = 1.0
+    remote_base: float = 10.0       # router/NI entry cost
+    per_hop: float = 2.0            # per mesh hop each way
+    message_setup: float = 40.0     # software cost to send one message
+    per_word_transfer: float = 0.5  # pipelined bulk-transfer cost per word
+
+    def remote_access_latency(self, hops: int) -> float:
+        """One remote word access: round trip over the mesh."""
+        return self.remote_base + 2 * self.per_hop * hops
+
+    def bulk_transfer_latency(self, words: int, hops: int) -> float:
+        """One message moving ``words`` words over ``hops`` hops."""
+        return (self.message_setup + self.per_hop * hops
+                + self.per_word_transfer * words)
+
+
+@dataclass
+class MemoryAccessPlan:
+    """A task's data-access profile against one remote data block."""
+
+    accesses: int          # total accesses the task performs on the block
+    block_words: int       # size of the block
+    hops: int              # mesh distance to the owning core
+    reuse_factor: float = 1.0  # accesses per word actually touched
+
+    def time_remote(self, model: LocalityModel) -> float:
+        """Every access goes over the NoC (no locality enforcement)."""
+        return self.accesses * model.remote_access_latency(self.hops)
+
+    def time_enforced_local(self, model: LocalityModel) -> float:
+        """Transfer the block once by message, then access locally."""
+        transfer = model.bulk_transfer_latency(self.block_words, self.hops)
+        return transfer + self.accesses * model.local_latency
+
+    def crossover_accesses(self, model: LocalityModel) -> float:
+        """Access count above which enforced locality is faster."""
+        per_access_gain = (model.remote_access_latency(self.hops)
+                           - model.local_latency)
+        if per_access_gain <= 0:
+            return float("inf")
+        transfer = model.bulk_transfer_latency(self.block_words, self.hops)
+        return transfer / per_access_gain
+
+
+def locality_sweep(machine: Machine, model: LocalityModel,
+                   block_words: int, access_counts: list) -> Dict[int, Dict[str, float]]:
+    """For each access count, average remote vs enforced-local times over
+    all core pairs of the machine (A1 bench helper)."""
+    pairs = [(a.core_id, b.core_id)
+             for a in machine.cores for b in machine.cores
+             if a.core_id != b.core_id]
+    results: Dict[int, Dict[str, float]] = {}
+    for count in access_counts:
+        remote_total = 0.0
+        local_total = 0.0
+        for src, dst in pairs:
+            plan = MemoryAccessPlan(count, block_words,
+                                    machine.distance(src, dst))
+            remote_total += plan.time_remote(model)
+            local_total += plan.time_enforced_local(model)
+        results[count] = {
+            "remote": remote_total / len(pairs),
+            "enforced_local": local_total / len(pairs),
+        }
+    return results
+
+
+@dataclass
+class PrefetchPlan:
+    """Section II's short-term strategy for legacy sequential code:
+    "support for frequency boosting of cores enhanced with pre-fetching
+    support from space-shared cores".
+
+    A sequential phase walks ``blocks`` remote data blocks in order.
+    Without help, every block transfer stalls the compute core.  With
+    helper cores prefetching ahead, transfer of block k+1 overlaps with
+    compute on block k, so steady-state time per block is
+    ``max(compute, transfer / helpers)`` instead of their sum.
+    """
+
+    blocks: int
+    block_words: int
+    compute_per_block: float
+    hops: int
+    helpers: int = 1
+
+    def __post_init__(self) -> None:
+        if self.blocks < 1 or self.helpers < 0:
+            raise ValueError("need >= 1 block and >= 0 helpers")
+
+    def transfer_time(self, model: LocalityModel) -> float:
+        return model.bulk_transfer_latency(self.block_words, self.hops)
+
+    def time_without_prefetch(self, model: LocalityModel) -> float:
+        """Serial: fetch block, compute, fetch next, ..."""
+        return self.blocks * (self.transfer_time(model)
+                              + self.compute_per_block)
+
+    def time_with_prefetch(self, model: LocalityModel) -> float:
+        """Helpers stream blocks ahead of the compute core.
+
+        First block cannot be hidden; afterwards the compute core waits
+        only when the aggregate prefetch bandwidth falls behind."""
+        if self.helpers == 0:
+            return self.time_without_prefetch(model)
+        transfer = self.transfer_time(model)
+        steady = max(self.compute_per_block, transfer / self.helpers)
+        return transfer + self.compute_per_block + \
+            (self.blocks - 1) * steady
+
+    def speedup(self, model: LocalityModel) -> float:
+        with_prefetch = self.time_with_prefetch(model)
+        if with_prefetch <= 0:
+            return float("inf")
+        return self.time_without_prefetch(model) / with_prefetch
+
+    def helpers_to_hide_transfers(self, model: LocalityModel) -> int:
+        """Fewest helper cores that make transfers free in steady state."""
+        import math
+        if self.compute_per_block <= 0:
+            return 10**9
+        return max(1, math.ceil(self.transfer_time(model)
+                                / self.compute_per_block))
+
+
+__all__ = ["LocalityModel", "MemoryAccessPlan", "PrefetchPlan",
+           "locality_sweep"]

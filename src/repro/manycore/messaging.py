@@ -1,0 +1,100 @@
+"""Asynchronous message transport over the mesh NoC (section II).
+
+The programming model of section II decouples cores and enforces "a
+messaging based programming model, at least on the OS level".  The
+:class:`NoCModel` delivers :class:`Message` objects between per-core
+mailboxes with a latency determined by mesh distance and message size; it
+runs on the discrete-event kernel so actor systems (see
+:mod:`repro.manycore.actors`) get realistic asynchrony.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+from repro.desim import Mailbox, Simulator
+from repro.manycore.machine import Machine
+
+
+@dataclass
+class Message:
+    """One asynchronous message."""
+
+    src: int
+    dst: int
+    payload: Any
+    size_words: int = 1
+    tag: str = ""
+    sent_at: float = 0.0
+    delivered_at: float = 0.0
+
+    @property
+    def latency(self) -> float:
+        return self.delivered_at - self.sent_at
+
+
+class NoCModel:
+    """Mesh network-on-chip with per-core mailboxes.
+
+    Latency model: ``base + per_hop * hops + per_word * size``.  Messages
+    between the same pair of cores are delivered in FIFO order (the
+    transport serializes per destination link); messages from different
+    sources may interleave, as on real hardware.
+    """
+
+    def __init__(self, sim: Simulator, machine: Machine,
+                 base_latency: float = 5.0, per_hop: float = 2.0,
+                 per_word: float = 0.5) -> None:
+        self.sim = sim
+        self.machine = machine
+        self.base_latency = base_latency
+        self.per_hop = per_hop
+        self.per_word = per_word
+        self.mailboxes: Dict[int, Mailbox] = {
+            core.core_id: Mailbox(f"mbox{core.core_id}")
+            for core in machine.cores}
+        self.messages_sent = 0
+        self.total_latency = 0.0
+        # Per-(src,dst) time the link frees up, to serialize same-pair order.
+        self._link_free: Dict[tuple, float] = {}
+
+    def latency_for(self, src: int, dst: int, size_words: int) -> float:
+        hops = self.machine.distance(src, dst)
+        return self.base_latency + self.per_hop * hops + \
+            self.per_word * size_words
+
+    def send(self, src: int, dst: int, payload: Any,
+             size_words: int = 1, tag: str = "") -> Message:
+        """Asynchronous, non-blocking send; delivery happens after the
+        modeled latency."""
+        if dst not in self.mailboxes:
+            raise KeyError(f"no core {dst}")
+        message = Message(src, dst, payload, size_words, tag,
+                          sent_at=self.sim.now)
+        arrival = self.sim.now + self.latency_for(src, dst, size_words)
+        key = (src, dst)
+        arrival = max(arrival, self._link_free.get(key, 0.0))
+        self._link_free[key] = arrival
+
+        def deliver() -> None:
+            message.delivered_at = self.sim.now
+            self.total_latency += message.latency
+            self.mailboxes[dst].send(message, sender=str(src))
+
+        self.sim.at(arrival, deliver)
+        self.messages_sent += 1
+        return message
+
+    def mailbox(self, core_id: int) -> Mailbox:
+        return self.mailboxes[core_id]
+
+    @property
+    def mean_latency(self) -> float:
+        delivered = sum(m.total_received for m in self.mailboxes.values())
+        if delivered == 0:
+            return 0.0
+        return self.total_latency / delivered
+
+
+__all__ = ["Message", "NoCModel"]

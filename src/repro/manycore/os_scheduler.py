@@ -1,0 +1,376 @@
+"""Time-shared, space-shared and hybrid OS scheduling (section II).
+
+Section II predicts applications will need two kinds of computing
+resources:
+
+- "a time-slice of a time-shared core" for sequential code, and
+- "allocation of multiple space-shared cores completely dedicated to
+  executing a single application" for parallel code,
+
+and calls for "scheduling algorithms that can in a reactive way mitigate
+multiple requests for parallel computing resources as well [as] sequential
+computing resources".  This module implements all three policies on the
+discrete-event kernel so the E3 bench can compare them on a mixed
+workload:
+
+- :func:`run_time_shared` -- everything round-robins on every core;
+- :func:`run_space_shared` -- every app gets dedicated cores, queued EDF;
+- :func:`run_hybrid` -- sequential apps time-share a small pool, parallel
+  (real-time) apps space-share the rest.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional, Sequence
+
+from repro.desim import Delay, Event, Simulator, WaitEvent
+from repro.manycore.machine import Core, Machine
+
+
+@dataclass
+class AppSpec:
+    """A one-shot application job.
+
+    ``work`` is total base-core work units; a parallel app divides it
+    evenly over ``threads`` threads.  ``thread_isas`` optionally pins each
+    thread to an ISA (the heterogeneous a-priori partitioning of E1).
+    ``deadline`` is relative to ``arrival``; ``rt`` marks apps whose
+    deadline the OS must honour.
+    """
+
+    name: str
+    work: float
+    threads: int = 1
+    arrival: float = 0.0
+    deadline: Optional[float] = None
+    rt: bool = False
+    thread_isas: Optional[List[str]] = None
+    # Optional recurrence: expand with `expand_periodic` before scheduling.
+    period: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.work <= 0 or self.threads < 1:
+            raise ValueError(f"app {self.name!r}: invalid work/threads")
+        if self.thread_isas is not None and \
+                len(self.thread_isas) != self.threads:
+            raise ValueError(f"app {self.name!r}: thread_isas length "
+                             f"must equal threads")
+
+    @property
+    def sequential(self) -> bool:
+        return self.threads == 1
+
+    def isa_of_thread(self, index: int) -> Optional[str]:
+        if self.thread_isas is None:
+            return None
+        return self.thread_isas[index]
+
+
+@dataclass
+class AppResult:
+    """Completion record of one app (``finish`` is ``inf`` when the app
+    could never be placed, e.g. an ISA-pinned thread with no matching
+    core)."""
+
+    name: str
+    arrival: float
+    finish: float
+    deadline: Optional[float]
+    rt: bool
+    threads: int = 1
+
+    @property
+    def sequential(self) -> bool:
+        return self.threads == 1
+
+    @property
+    def response_time(self) -> float:
+        return self.finish - self.arrival
+
+    @property
+    def deadline_met(self) -> Optional[bool]:
+        if self.deadline is None and self.finish != float("inf"):
+            return None
+        if self.finish == float("inf"):
+            return False
+        return self.finish <= self.arrival + self.deadline + 1e-9
+
+
+@dataclass
+class ScheduleOutcome:
+    """Aggregate result of one scheduling-policy run."""
+
+    policy: str
+    results: List[AppResult] = field(default_factory=list)
+    makespan: float = 0.0
+    context_switches: int = 0
+
+    @property
+    def deadline_misses(self) -> int:
+        return sum(1 for r in self.results if r.deadline_met is False)
+
+    @property
+    def rt_deadline_misses(self) -> int:
+        return sum(1 for r in self.results
+                   if r.rt and r.deadline_met is False)
+
+    def mean_response(self, sequential_only: bool = False) -> float:
+        rows = [r for r in self.results
+                if not sequential_only or r.sequential]
+        if not rows:
+            return 0.0
+        return sum(r.response_time for r in rows) / len(rows)
+
+    @property
+    def unplaceable(self) -> int:
+        return sum(1 for r in self.results if r.finish == float("inf"))
+
+    def result_of(self, name: str) -> AppResult:
+        for result in self.results:
+            if result.name == name:
+                return result
+        raise KeyError(name)
+
+
+class _Thread:
+    def __init__(self, app: "_AppState", index: int, work: float,
+                 isa: Optional[str]) -> None:
+        self.app = app
+        self.index = index
+        self.remaining = work
+        self.isa = isa
+
+
+class _AppState:
+    def __init__(self, spec: AppSpec) -> None:
+        self.spec = spec
+        self.unfinished = spec.threads
+        self.finish: Optional[float] = None
+
+    def make_threads(self) -> List[_Thread]:
+        share = self.spec.work / self.spec.threads
+        return [_Thread(self, i, share, self.spec.isa_of_thread(i))
+                for i in range(self.spec.threads)]
+
+
+def _record(outcome: ScheduleOutcome, state: _AppState, now: float) -> None:
+    spec = state.spec
+    outcome.results.append(AppResult(spec.name, spec.arrival, now,
+                                     spec.deadline, spec.rt, spec.threads))
+    if now != float("inf"):
+        outcome.makespan = max(outcome.makespan, now)
+
+
+# ---------------------------------------------------------------------------
+# time-shared round-robin
+# ---------------------------------------------------------------------------
+
+def run_time_shared(machine: Machine, apps: Sequence[AppSpec],
+                    quantum: float = 1.0,
+                    ctx_overhead: float = 0.01) -> ScheduleOutcome:
+    """Global round-robin over all cores with a fixed quantum."""
+    sim = Simulator()
+    outcome = ScheduleOutcome("time_shared")
+    ready: Deque[_Thread] = deque()
+    work_event = Event("work")
+    remaining_apps = len(apps)
+
+    def arrival_proc(spec: AppSpec):
+        if spec.arrival > 0:
+            yield Delay(spec.arrival)
+        state = _AppState(spec)
+        for thread in state.make_threads():
+            ready.append(thread)
+        work_event.trigger(None)
+
+    def core_proc(core: Core):
+        nonlocal remaining_apps
+        while remaining_apps > 0:
+            thread = _pop_matching(ready, core.isa)
+            if thread is None:
+                yield WaitEvent(work_event)
+                continue
+            slice_work = min(quantum * core.freq, thread.remaining)
+            duration = slice_work / core.freq + ctx_overhead
+            outcome.context_switches += 1
+            yield Delay(duration)
+            thread.remaining -= slice_work
+            if thread.remaining <= 1e-12:
+                thread.app.unfinished -= 1
+                if thread.app.unfinished == 0:
+                    _record(outcome, thread.app, sim.now)
+                    remaining_apps -= 1
+                    work_event.trigger(None)  # wake idle cores to re-check exit
+            else:
+                ready.append(thread)
+                work_event.trigger(None)
+
+    for spec in apps:
+        sim.spawn(arrival_proc(spec), name=f"arrive.{spec.name}")
+    for core in machine.cores:
+        sim.spawn(core_proc(core), name=f"core{core.core_id}")
+    sim.run()
+    return outcome
+
+
+def expand_periodic(apps: Sequence[AppSpec], horizon: float) -> List[AppSpec]:
+    """Explode periodic app specs into the job stream up to ``horizon``.
+
+    Section II's OS serves *recurring* real-time work; the one-shot
+    schedulers above stay simple by scheduling jobs, and this helper turns
+    ``AppSpec(period=...)``-annotated specs into per-release job instances
+    (``name#k``, arrival ``k * period``, the spec's relative deadline).
+    Specs without a period pass through unchanged.
+    """
+    jobs: List[AppSpec] = []
+    for spec in apps:
+        period = getattr(spec, "period", None)
+        if period is None:
+            jobs.append(spec)
+            continue
+        if period <= 0:
+            raise ValueError(f"app {spec.name!r}: period must be positive")
+        release = 0.0
+        index = 0
+        while release < horizon:
+            jobs.append(AppSpec(f"{spec.name}#{index}", spec.work,
+                                spec.threads, spec.arrival + release,
+                                spec.deadline, spec.rt,
+                                list(spec.thread_isas)
+                                if spec.thread_isas else None))
+            release += period
+            index += 1
+    return jobs
+
+
+def _pop_matching(ready: Deque[_Thread], isa: str) -> Optional[_Thread]:
+    for index, thread in enumerate(ready):
+        if thread.isa is None or thread.isa == isa:
+            del ready[index]
+            return thread
+    return None
+
+
+# ---------------------------------------------------------------------------
+# space-shared gang allocation (EDF among waiting apps)
+# ---------------------------------------------------------------------------
+
+def run_space_shared(machine: Machine, apps: Sequence[AppSpec],
+                     dispatch_overhead: float = 0.01) -> ScheduleOutcome:
+    """Dedicated-core gang allocation; waiting apps served EDF-first."""
+    sim = Simulator()
+    outcome = ScheduleOutcome("space_shared")
+    free_cores: List[Core] = list(machine.cores)
+    waiting: List[_AppState] = []
+    change = Event("change")
+    remaining_apps = len(apps)
+
+    def arrival_proc(spec: AppSpec):
+        if spec.arrival > 0:
+            yield Delay(spec.arrival)
+        waiting.append(_AppState(spec))
+        change.trigger(None)
+
+    def _edf_key(state: _AppState):
+        deadline = state.spec.deadline
+        absolute = (state.spec.arrival + deadline) if deadline is not None \
+            else float("inf")
+        return (absolute, state.spec.arrival, state.spec.name)
+
+    def try_place() -> Optional[tuple]:
+        for state in sorted(waiting, key=_edf_key):
+            chosen = _pick_cores(free_cores, state.spec)
+            if chosen is not None:
+                waiting.remove(state)
+                return state, chosen
+        return None
+
+    def thread_proc(state: _AppState, thread: _Thread, core: Core):
+        nonlocal remaining_apps
+        yield Delay(dispatch_overhead + thread.remaining / core.freq)
+        state.unfinished -= 1
+        free_cores.append(core)
+        if state.unfinished == 0:
+            _record(outcome, state, sim.now)
+            remaining_apps -= 1
+        change.trigger(None)
+
+    def allocator_proc():
+        while remaining_apps > 0:
+            placement = try_place()
+            if placement is None:
+                yield WaitEvent(change)
+                continue
+            state, chosen = placement
+            for thread, core in zip(state.make_threads(), chosen):
+                sim.spawn(thread_proc(state, thread, core),
+                          name=f"{state.spec.name}.t{thread.index}")
+            outcome.context_switches += len(chosen)
+
+    for spec in apps:
+        sim.spawn(arrival_proc(spec), name=f"arrive.{spec.name}")
+    sim.spawn(allocator_proc(), name="allocator")
+    sim.run()
+    # Apps still waiting when the system went idle can never be placed
+    # (e.g. ISA-pinned threads with no matching core).
+    for state in waiting:
+        _record(outcome, state, float("inf"))
+    return outcome
+
+
+def _pick_cores(free_cores: List[Core], spec: AppSpec) -> Optional[List[Core]]:
+    """Reserve one free core per thread, honouring per-thread ISA pins."""
+    pool = list(free_cores)
+    chosen: List[Core] = []
+    for index in range(spec.threads):
+        isa = spec.isa_of_thread(index)
+        found = None
+        for core in pool:
+            if isa is None or core.isa == isa:
+                found = core
+                break
+        if found is None:
+            return None
+        pool.remove(found)
+        chosen.append(found)
+    for core in chosen:
+        free_cores.remove(core)
+    return chosen
+
+
+# ---------------------------------------------------------------------------
+# hybrid: sequential apps time-share a pool, parallel apps space-share
+# ---------------------------------------------------------------------------
+
+def run_hybrid(machine: Machine, apps: Sequence[AppSpec],
+               ts_cores: int = 1, quantum: float = 1.0,
+               ctx_overhead: float = 0.01,
+               dispatch_overhead: float = 0.01) -> ScheduleOutcome:
+    """Hybrid policy: ``ts_cores`` cores round-robin the sequential apps,
+    the remaining cores are gang-allocated (EDF) to parallel apps.
+
+    This is the section-II proposal verbatim: sequential needs met with a
+    time-slice of a time-shared core, parallel needs met with dedicated
+    space-shared cores, managed reactively.
+    """
+    if not 0 < ts_cores < machine.n_cores:
+        raise ValueError("ts_cores must leave at least one space-shared core")
+    sequential = [a for a in apps if a.sequential]
+    parallel = [a for a in apps if not a.sequential]
+    ts_machine = Machine(ts_cores, cores=machine.cores[:ts_cores])
+    ss_machine = Machine(machine.n_cores - ts_cores,
+                         cores=machine.cores[ts_cores:])
+    ts_outcome = run_time_shared(ts_machine, sequential, quantum, ctx_overhead)
+    ss_outcome = run_space_shared(ss_machine, parallel, dispatch_overhead)
+    merged = ScheduleOutcome("hybrid")
+    merged.results = ts_outcome.results + ss_outcome.results
+    merged.makespan = max(ts_outcome.makespan, ss_outcome.makespan)
+    merged.context_switches = (ts_outcome.context_switches +
+                               ss_outcome.context_switches)
+    return merged
+
+
+__all__ = ["AppResult", "AppSpec", "ScheduleOutcome", "expand_periodic",
+           "run_hybrid", "run_space_shared", "run_time_shared"]

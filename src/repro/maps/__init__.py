@@ -1,0 +1,69 @@
+"""MAPS: MPSoC Application Programming Studio (paper section IV, Figure 1).
+
+The MAPS flow, reproduced end to end:
+
+1. applications enter as sequential mini-C or pre-parallelized task graphs,
+   with lightweight real-time / PE-preference annotations
+   (:mod:`repro.maps.spec`);
+2. a concurrency graph captures which applications can be active
+   simultaneously (:mod:`repro.maps.concurrency`);
+3. dataflow analysis extracts parallelism from the sequential code and
+   forms fine-grained task graphs (:mod:`repro.maps.partition`,
+   :mod:`repro.maps.taskgraph`);
+4. optimization algorithms map task graphs to the target architecture,
+   statically for hard real-time, dynamically (priority, best-effort) for
+   the rest (:mod:`repro.maps.mapping`);
+5. the mapping is exercised on MVP, a fast high-level simulation
+   environment for multi-application scenarios (:mod:`repro.maps.mvp`);
+6. code generation translates task graphs into per-PE C code
+   (:mod:`repro.maps.codegen`);
+7. OSIP, a task-dispatching ASIP, is modelled against a RISC software
+   scheduler (:mod:`repro.maps.osip`).
+
+:class:`repro.maps.flow.MapsFlow` chains all of it, mirroring Figure 1.
+"""
+
+from repro.maps.spec import (
+    ApplicationSpec,
+    PEClass,
+    PESpec,
+    PlatformSpec,
+    RTClass,
+)
+from repro.maps.taskgraph import TaskEdge, TaskGraph, TaskNode
+from repro.maps.partition import (
+    PartitionResult,
+    partition_data_parallel,
+    partition_function,
+    partition_pipeline,
+)
+from repro.maps.concurrency import ConcurrencyGraph
+from repro.maps.mapping import Mapping, map_task_graph, map_multi_app
+from repro.maps.mvp import MvpReport, simulate_mapping
+from repro.maps.codegen import generate_data_parallel_code, generate_pipeline_code
+from repro.maps.osip import OsipModel, RiscSchedulerModel, task_farm_utilization
+from repro.maps.flow import MapsFlow, FlowReport
+from repro.maps.annotations import (
+    AnnotationError,
+    MapsAnnotation,
+    annotated_application,
+    parse_annotations,
+)
+from repro.maps.annealing import (
+    AnnealingReport,
+    evaluate_assignment,
+    map_task_graph_annealing,
+    map_task_graph_random,
+)
+
+__all__ = [
+    "AnnealingReport", "AnnotationError", "ApplicationSpec",
+    "MapsAnnotation", "annotated_application", "parse_annotations", "ConcurrencyGraph", "FlowReport", "Mapping",
+    "MapsFlow", "MvpReport", "OsipModel", "PEClass", "PESpec",
+    "PartitionResult", "PlatformSpec", "RTClass", "RiscSchedulerModel",
+    "TaskEdge", "TaskGraph", "TaskNode", "generate_data_parallel_code",
+    "generate_pipeline_code", "evaluate_assignment", "map_multi_app", "map_task_graph",
+    "map_task_graph_annealing", "map_task_graph_random",
+    "partition_data_parallel", "partition_function", "partition_pipeline",
+    "simulate_mapping", "task_farm_utilization",
+]

@@ -1,0 +1,132 @@
+"""Lightweight C extensions: MAPS source annotations (section IV).
+
+"using some lightweight C extensions, real-time properties such as latency
+and period as well as preferred PE types can be optionally annotated."
+
+The extension is comment-based so annotated sources remain plain mini-C::
+
+    // @maps period=600 latency=550 pe=dsp class=hard priority=3
+    int main() { ... }
+
+An annotation line binds to the next function definition in the source.
+:func:`parse_annotations` extracts them; :func:`annotated_application`
+builds a ready :class:`~repro.maps.spec.ApplicationSpec`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.cir.parser import parse
+from repro.maps.spec import ApplicationSpec, PEClass, RTClass
+
+_ANNOTATION_RE = re.compile(r"^\s*//\s*@maps\b(?P<body>.*)$")
+_FUNC_RE = re.compile(
+    r"^\s*(?:int|float|void)\s*\*?\s*(?P<name>[A-Za-z_]\w*)\s*\(")
+_KEY_VALUE_RE = re.compile(r"(?P<key>[a-z_]+)\s*=\s*(?P<value>[^\s]+)")
+
+_VALID_KEYS = {"period", "latency", "pe", "class", "priority"}
+
+
+class AnnotationError(Exception):
+    """Raised on a malformed @maps annotation."""
+
+
+@dataclass
+class MapsAnnotation:
+    """Parsed annotation attached to one function."""
+
+    function: str
+    period: Optional[float] = None
+    latency: Optional[float] = None
+    preferred_pe: Optional[PEClass] = None
+    rt_class: RTClass = RTClass.BEST_EFFORT
+    priority: int = 10
+    line: int = 0
+
+
+def parse_annotations(source: str) -> Dict[str, MapsAnnotation]:
+    """Extract every ``// @maps`` annotation, bound to the function that
+    follows it.  Raises :class:`AnnotationError` on unknown keys, bad
+    values, or a dangling annotation with no function after it."""
+    annotations: Dict[str, MapsAnnotation] = {}
+    pending: Optional[MapsAnnotation] = None
+    for line_no, line in enumerate(source.splitlines(), start=1):
+        matched = _ANNOTATION_RE.match(line)
+        if matched:
+            if pending is not None:
+                raise AnnotationError(
+                    f"line {pending.line}: annotation not followed by a "
+                    f"function before the next annotation")
+            pending = _parse_body(matched.group("body"), line_no)
+            continue
+        func = _FUNC_RE.match(line)
+        if func and pending is not None:
+            pending.function = func.group("name")
+            annotations[pending.function] = pending
+            pending = None
+    if pending is not None:
+        raise AnnotationError(
+            f"line {pending.line}: annotation not followed by a function")
+    return annotations
+
+
+def _parse_body(body: str, line_no: int) -> MapsAnnotation:
+    annotation = MapsAnnotation(function="", line=line_no)
+    seen = set()
+    for match in _KEY_VALUE_RE.finditer(body):
+        key, value = match.group("key"), match.group("value")
+        if key not in _VALID_KEYS:
+            raise AnnotationError(
+                f"line {line_no}: unknown annotation key {key!r} "
+                f"(valid: {sorted(_VALID_KEYS)})")
+        if key in seen:
+            raise AnnotationError(f"line {line_no}: duplicate key {key!r}")
+        seen.add(key)
+        try:
+            if key == "period":
+                annotation.period = float(value)
+            elif key == "latency":
+                annotation.latency = float(value)
+            elif key == "pe":
+                annotation.preferred_pe = PEClass(value)
+            elif key == "class":
+                annotation.rt_class = RTClass(value)
+            elif key == "priority":
+                annotation.priority = int(value)
+        except ValueError as error:
+            raise AnnotationError(
+                f"line {line_no}: bad value {value!r} for {key!r}: "
+                f"{error}") from error
+    stripped = _KEY_VALUE_RE.sub("", body).strip()
+    if stripped:
+        raise AnnotationError(
+            f"line {line_no}: unparseable annotation text {stripped!r}")
+    return annotation
+
+
+def annotated_application(name: str, source: str,
+                          entry: str = "main") -> ApplicationSpec:
+    """Parse annotated mini-C into an :class:`ApplicationSpec`.
+
+    The entry function's annotation (if any) provides the real-time
+    properties; the program itself is parsed as usual."""
+    program = parse(source)
+    annotations = parse_annotations(source)
+    annotation = annotations.get(entry, MapsAnnotation(function=entry))
+    return ApplicationSpec(
+        name=name,
+        program=program,
+        entry=entry,
+        rt_class=annotation.rt_class,
+        period=annotation.period,
+        latency=annotation.latency,
+        priority=annotation.priority,
+        preferred_pe=annotation.preferred_pe,
+    )
+
+
+__all__ = ["AnnotationError", "MapsAnnotation", "annotated_application",
+           "parse_annotations"]

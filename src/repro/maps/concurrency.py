@@ -1,0 +1,66 @@
+"""Concurrency graph: which applications can be active simultaneously.
+
+"a concurrency graph is used to capture potential parallelism between
+applications, in order to derive the worst case computational loads."
+
+Nodes are application names; an edge means the two applications may run at
+the same time.  The worst-case load of a mapping is the maximum, over all
+cliques of concurrently-runnable applications, of the summed utilization
+each clique places on every PE.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+import networkx as nx
+
+
+class ConcurrencyGraph:
+    """Undirected may-run-concurrently graph over application names."""
+
+    def __init__(self) -> None:
+        self.graph = nx.Graph()
+
+    def add_app(self, name: str) -> None:
+        self.graph.add_node(name)
+
+    def set_concurrent(self, app_a: str, app_b: str) -> None:
+        if app_a == app_b:
+            raise ValueError("an app is trivially concurrent with itself")
+        self.graph.add_edge(app_a, app_b)
+
+    def apps(self) -> List[str]:
+        return sorted(self.graph.nodes)
+
+    def concurrent(self, app_a: str, app_b: str) -> bool:
+        return self.graph.has_edge(app_a, app_b)
+
+    def scenarios(self) -> List[FrozenSet[str]]:
+        """Maximal sets of applications that can all be active at once
+        (maximal cliques)."""
+        return [frozenset(c) for c in nx.find_cliques(self.graph)]
+
+    def worst_case_load(self, app_pe_load: Dict[str, Dict[str, float]]) \
+            -> Dict[str, float]:
+        """Per-PE worst-case utilization over all concurrency scenarios.
+
+        ``app_pe_load[app][pe]`` is the utilization app places on pe under
+        the candidate mapping.  Returns ``pe -> max scenario load``.
+        """
+        worst: Dict[str, float] = {}
+        for scenario in self.scenarios():
+            load: Dict[str, float] = {}
+            for app in scenario:
+                for pe, value in app_pe_load.get(app, {}).items():
+                    load[pe] = load.get(pe, 0.0) + value
+            for pe, value in load.items():
+                worst[pe] = max(worst.get(pe, 0.0), value)
+        return worst
+
+    def __len__(self) -> int:
+        return self.graph.number_of_nodes()
+
+
+__all__ = ["ConcurrencyGraph"]

@@ -1,0 +1,140 @@
+"""The end-to-end MAPS flow (Figure 1 of the paper).
+
+:class:`MapsFlow` chains the phases: sequential C in -> dataflow analysis &
+partitioning -> (optional data-parallel expansion) -> mapping -> MVP
+simulation -> per-PE code generation -> semantic validation against the
+sequential original.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.cir.interp import run_program
+from repro.cir.nodes import Program
+from repro.cir.parser import parse
+from repro.maps.codegen import generate_data_parallel_code, render_pe_sources
+from repro.maps.mapping import Mapping, map_task_graph
+from repro.maps.mvp import AppRun, MvpReport, simulate_mapping
+from repro.maps.partition import (
+    PartitionResult, partition_data_parallel, partition_function,
+)
+from repro.maps.spec import PlatformSpec
+from repro.maps.taskgraph import TaskGraph
+
+
+@dataclass
+class FlowReport:
+    """Everything the flow produced for one application."""
+
+    app_name: str
+    partition: PartitionResult
+    expanded_graph: TaskGraph
+    mapping: Mapping
+    mvp: MvpReport
+    pe_sources: Dict[str, str]
+    sequential_result: object
+    parallel_result: object
+    semantics_preserved: bool
+    estimated_speedup: float
+    annotation: object = None  # MapsAnnotation of the entry, if any
+
+    @property
+    def measured_speedup(self) -> float:
+        """Sequential critical cost over simulated makespan."""
+        total = self.partition.task_graph.total_cost()
+        if self.mvp.makespan <= 0:
+            return 0.0
+        return total / self.mvp.makespan
+
+
+class MapsFlow:
+    """Driver object mirroring Figure 1."""
+
+    def __init__(self, platform: PlatformSpec) -> None:
+        self.platform = platform
+
+    def run(self, source_or_program, entry: str = "main",
+            split_k: Optional[int] = None,
+            app_name: str = "app",
+            iterations: int = 1,
+            refine: bool = False,
+            refine_iterations: int = 1200) -> FlowReport:
+        """Run the full flow on sequential code.
+
+        ``split_k`` data-parallel-splits every parallelizable loop task
+        into ``split_k`` chunks (default: number of platform PEs).
+
+        ``refine=True`` enables Figure 1's refinement loop: "the resulting
+        mapping can be exercised and refined with ... MVP".  The HEFT
+        mapping is exercised on MVP; an annealing pass seeded with it
+        searches for a better assignment, the candidate is re-exercised,
+        and the better of the two (by simulated makespan) is kept.
+        """
+        annotation = None
+        if isinstance(source_or_program, Program):
+            program = source_or_program
+        else:
+            program = parse(source_or_program)
+            # Lightweight C extensions: "// @maps pe=dsp period=..." lines
+            # annotate the functions they precede (section IV).
+            from repro.maps.annotations import parse_annotations
+            annotation = parse_annotations(source_or_program).get(entry)
+        split_k = split_k or len(self.platform.pes)
+
+        # 1. dataflow analysis + partitioning.
+        partition = partition_function(program, entry)
+        if annotation is not None and annotation.preferred_pe is not None:
+            for node in partition.task_graph.nodes.values():
+                node.preferred_pe = annotation.preferred_pe
+
+        # 2. data-parallel expansion of every parallelizable loop.
+        expanded = partition.task_graph
+        for task_name in partition.parallelizable_tasks:
+            staged = PartitionResult(expanded, partition.clusters,
+                                     partition.loop_infos,
+                                     partition.parallelizable_tasks,
+                                     program, entry)
+            expanded = partition_data_parallel(staged, task_name, split_k)
+
+        # 3. mapping (HEFT list scheduling).
+        mapping = map_task_graph(expanded, self.platform)
+
+        # 4. MVP simulation (+ optional Figure-1 refinement loop).
+        mvp = simulate_mapping(
+            [AppRun(app_name, mapping, iterations=iterations)],
+            self.platform)
+        if refine:
+            from repro.maps.annealing import map_task_graph_annealing
+            candidate = map_task_graph_annealing(
+                expanded, self.platform, iterations=refine_iterations,
+                seed=1, initial=dict(mapping.assignment)).best
+            candidate_mvp = simulate_mapping(
+                [AppRun(app_name, candidate, iterations=iterations)],
+                self.platform)
+            if candidate_mvp.makespan < mvp.makespan:
+                mapping, mvp = candidate, candidate_mvp
+
+        # 5. code generation + per-PE sources.
+        generated, gen_entry = generate_data_parallel_code(
+            PartitionResult(expanded, partition.clusters,
+                            partition.loop_infos,
+                            partition.parallelizable_tasks, program, entry),
+            expanded)
+        pe_sources = render_pe_sources(partition, expanded, mapping)
+
+        # 6. semantic validation: generated parallel code vs original.
+        sequential = run_program(program, entry=entry)
+        parallel = run_program(generated, entry=gen_entry)
+        preserved = (sequential.return_value == parallel.return_value
+                     and sequential.output == parallel.output)
+
+        sequential_cost = partition.task_graph.total_cost()
+        estimated = sequential_cost / max(mapping.makespan, 1e-9)
+        return FlowReport(app_name, partition, expanded, mapping, mvp,
+                          pe_sources, sequential, parallel, preserved,
+                          estimated, annotation)
+
+
+__all__ = ["FlowReport", "MapsFlow"]

@@ -1,0 +1,207 @@
+"""Task-to-PE mapping and scheduling (section IV).
+
+"Using optimization algorithms, the task graphs are mapped to the target
+architecture, taking into account real-time requirements and preferred PE
+classes.  Hard real-time applications are scheduled statically, while soft
+and non-real-time applications are scheduled dynamically according to
+their priority in best effort manner."
+
+- :func:`map_task_graph` -- HEFT-style list scheduling of one task graph
+  (static schedule: per-task start/finish estimates);
+- :func:`map_multi_app` -- multi-application mapping: hard-RT apps are
+  placed first with a utilization admission test against the concurrency
+  graph's worst-case scenarios; soft/best-effort apps are load-balanced
+  onto the remaining capacity in priority order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.maps.concurrency import ConcurrencyGraph
+from repro.maps.spec import ApplicationSpec, PESpec, PlatformSpec, RTClass
+from repro.maps.taskgraph import TaskGraph
+
+
+@dataclass
+class ScheduledTask:
+    """Static-schedule entry for one task."""
+
+    task: str
+    pe: str
+    start: float
+    finish: float
+
+
+@dataclass
+class Mapping:
+    """A task-to-PE assignment with its static schedule estimate."""
+
+    graph: TaskGraph
+    platform: PlatformSpec
+    assignment: Dict[str, str] = field(default_factory=dict)
+    schedule: List[ScheduledTask] = field(default_factory=list)
+    makespan: float = 0.0
+
+    def pe_of(self, task: str) -> str:
+        return self.assignment[task]
+
+    def tasks_on(self, pe: str) -> List[str]:
+        return [t for t, p in self.assignment.items() if p == pe]
+
+    def pe_load(self) -> Dict[str, float]:
+        """Total abstract cycles each PE executes."""
+        load: Dict[str, float] = {pe.name: 0.0 for pe in self.platform.pes}
+        for entry in self.schedule:
+            load[entry.pe] += entry.finish - entry.start
+        return load
+
+    def utilization_per_pe(self, period: float) -> Dict[str, float]:
+        if period <= 0:
+            raise ValueError("period must be positive")
+        return {pe: cycles / period for pe, cycles in self.pe_load().items()}
+
+
+def _upward_rank(graph: TaskGraph, platform: PlatformSpec) -> Dict[str, float]:
+    """HEFT upward rank with average execution and communication costs."""
+    mean_speed = {pe.name: pe.freq for pe in platform.pes}
+    ranks: Dict[str, float] = {}
+    order = graph.topological_order()
+    for name in reversed(order):
+        node = graph.nodes[name]
+        avg_cost = sum(node.cost_on(pe.pe_class, pe.freq)
+                       for pe in platform.pes) / len(platform.pes)
+        best_child = 0.0
+        for edge in graph.out_edges(name):
+            comm = platform.comm_cost(edge.words)
+            best_child = max(best_child, ranks[edge.dst] + comm)
+        ranks[name] = avg_cost + best_child
+    return ranks
+
+
+def map_task_graph(graph: TaskGraph, platform: PlatformSpec,
+                   allowed_pes: Optional[List[str]] = None) -> Mapping:
+    """HEFT list scheduling: assign each task (by decreasing upward rank)
+    to the PE minimizing its earliest finish time.
+
+    Respects each task's ``preferred_pe`` class when the platform has a PE
+    of that class; ``allowed_pes`` restricts the candidate set (used by the
+    multi-app mapper to carve out capacity)."""
+    if not platform.pes:
+        raise ValueError("platform has no PEs")
+    candidates_all = [pe for pe in platform.pes
+                      if allowed_pes is None or pe.name in allowed_pes]
+    if not candidates_all:
+        raise ValueError("no allowed PEs")
+    ranks = _upward_rank(graph, platform)
+    order = sorted(graph.nodes, key=lambda n: (-ranks[n], n))
+
+    pe_available: Dict[str, float] = {pe.name: 0.0 for pe in candidates_all}
+    finish_time: Dict[str, float] = {}
+    mapping = Mapping(graph, platform)
+
+    for name in order:
+        node = graph.nodes[name]
+        candidates = candidates_all
+        if node.preferred_pe is not None:
+            preferred = [pe for pe in candidates_all
+                         if pe.pe_class == node.preferred_pe]
+            if preferred:
+                candidates = preferred
+        best: Optional[Tuple[float, float, str, PESpec]] = None
+        for pe in candidates:
+            ready = 0.0
+            for edge in graph.in_edges(name):
+                pred_finish = finish_time[edge.src]
+                if mapping.assignment[edge.src] != pe.name:
+                    pred_finish += platform.comm_cost(edge.words)
+                ready = max(ready, pred_finish)
+            start = max(ready, pe_available[pe.name])
+            finish = start + node.cost_on(pe.pe_class, pe.freq)
+            key = (finish, start, pe.name)
+            if best is None or key < best[:3]:
+                best = (finish, start, pe.name, pe)
+        assert best is not None
+        finish, start, pe_name, pe = best
+        mapping.assignment[name] = pe_name
+        mapping.schedule.append(ScheduledTask(name, pe_name, start, finish))
+        pe_available[pe_name] = finish
+        finish_time[name] = finish
+        mapping.makespan = max(mapping.makespan, finish)
+    return mapping
+
+
+@dataclass
+class MultiAppMapping:
+    """Result of mapping several applications onto one platform."""
+
+    mappings: Dict[str, Mapping] = field(default_factory=dict)
+    admitted_hard: List[str] = field(default_factory=list)
+    rejected_hard: List[str] = field(default_factory=list)
+    worst_case_load: Dict[str, float] = field(default_factory=dict)
+
+    def mapping_of(self, app: str) -> Mapping:
+        return self.mappings[app]
+
+
+def map_multi_app(apps: List[Tuple[ApplicationSpec, TaskGraph]],
+                  platform: PlatformSpec,
+                  concurrency: Optional[ConcurrencyGraph] = None,
+                  utilization_bound: float = 1.0) -> MultiAppMapping:
+    """Map several applications, hard-RT first with admission control.
+
+    Hard apps are mapped in increasing-period (rate-monotonic-ish) order;
+    each is admitted only if, under the concurrency graph's worst-case
+    scenario, no PE exceeds ``utilization_bound``.  Soft and best-effort
+    apps are then mapped in priority order onto all PEs (they do not
+    affect admission).
+    """
+    result = MultiAppMapping()
+    concurrency = concurrency or _fully_concurrent(
+        [spec.name for spec, _ in apps])
+
+    app_pe_load: Dict[str, Dict[str, float]] = {}
+
+    hard = [(spec, graph) for spec, graph in apps
+            if spec.rt_class == RTClass.HARD]
+    other = [(spec, graph) for spec, graph in apps
+             if spec.rt_class != RTClass.HARD]
+    hard.sort(key=lambda item: (item[0].period or 0.0, item[0].name))
+    other.sort(key=lambda item: (item[0].priority, item[0].name))
+
+    for spec, graph in hard:
+        mapping = map_task_graph(graph, platform)
+        assert spec.period is not None
+        candidate_load = mapping.utilization_per_pe(spec.period)
+        app_pe_load[spec.name] = candidate_load
+        worst = concurrency.worst_case_load(app_pe_load)
+        if all(value <= utilization_bound + 1e-9 for value in worst.values()):
+            result.mappings[spec.name] = mapping
+            result.admitted_hard.append(spec.name)
+            result.worst_case_load = worst
+        else:
+            del app_pe_load[spec.name]
+            result.rejected_hard.append(spec.name)
+
+    for spec, graph in other:
+        mapping = map_task_graph(graph, platform)
+        result.mappings[spec.name] = mapping
+        if spec.period:
+            app_pe_load[spec.name] = mapping.utilization_per_pe(spec.period)
+    result.worst_case_load = concurrency.worst_case_load(app_pe_load)
+    return result
+
+
+def _fully_concurrent(names: List[str]) -> ConcurrencyGraph:
+    graph = ConcurrencyGraph()
+    for name in names:
+        graph.add_app(name)
+    for i, name_a in enumerate(names):
+        for name_b in names[i + 1:]:
+            graph.set_concurrent(name_a, name_b)
+    return graph
+
+
+__all__ = ["Mapping", "MultiAppMapping", "ScheduledTask", "map_multi_app",
+           "map_task_graph"]

@@ -1,0 +1,133 @@
+"""OSIP: the task-dispatching operating-system ASIP (section IV).
+
+"in the future MAPS will also support a dedicated task dispatching ASIP
+(OSIP, operating system ASIP) in order to enable higher PE utilization via
+more fine-grained tasks and low context switching overhead.  Early
+evaluation case studies exhibited great potential of the OSIP approach in
+lowering the task-switching overhead, compared to an additional RISC
+performing scheduling in a typical MPSoC environment."
+
+Both scheduler implementations serve a task farm: worker PEs request the
+next task from the (single) scheduler, which serializes dispatch requests.
+The RISC software scheduler costs hundreds of cycles per dispatch; the
+OSIP hardware scheduler costs tens.  The E8 bench sweeps task granularity
+and shows where each keeps the PEs utilized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.desim import Delay, Resource, Simulator
+
+
+@dataclass
+class SchedulerModel:
+    """A centralized task dispatcher with a fixed per-dispatch cost."""
+
+    name: str
+    dispatch_cycles: float
+
+    def __post_init__(self) -> None:
+        if self.dispatch_cycles <= 0:
+            raise ValueError("dispatch cost must be positive")
+
+
+@dataclass
+class RiscSchedulerModel(SchedulerModel):
+    """An additional RISC core running the scheduler in software.
+
+    Default cost follows the typical figure for a software scheduler doing
+    queue management + context switch over a bus: hundreds of cycles.
+    """
+
+    name: str = "risc"
+    dispatch_cycles: float = 300.0
+
+
+@dataclass
+class OsipModel(SchedulerModel):
+    """The OSIP scheduling ASIP: dispatch in tens of cycles."""
+
+    name: str = "osip"
+    dispatch_cycles: float = 25.0
+
+
+@dataclass
+class TaskFarmResult:
+    """Outcome of a task-farm simulation."""
+
+    scheduler: str
+    n_workers: int
+    task_cycles: float
+    n_tasks: int
+    makespan: float
+    busy_cycles: float
+    dispatch_wait: float
+
+    @property
+    def utilization(self) -> float:
+        if self.makespan <= 0:
+            return 0.0
+        return self.busy_cycles / (self.makespan * self.n_workers)
+
+    @property
+    def ideal_makespan(self) -> float:
+        import math
+        return math.ceil(self.n_tasks / self.n_workers) * self.task_cycles
+
+
+def task_farm_utilization(scheduler: SchedulerModel, n_workers: int,
+                          task_cycles: float, n_tasks: int) -> TaskFarmResult:
+    """Simulate a task farm: workers repeatedly fetch one task from the
+    central scheduler (serialized, ``dispatch_cycles`` each) and execute it
+    for ``task_cycles``."""
+    if n_workers < 1 or n_tasks < 1:
+        raise ValueError("need at least one worker and one task")
+    sim = Simulator()
+    dispatcher = Resource(1, name=scheduler.name)
+    remaining = [n_tasks]
+    busy = [0.0]
+    wait = [0.0]
+    finish = [0.0]
+
+    def worker(_worker_id: int):
+        while True:
+            if remaining[0] <= 0:
+                return
+            request_at = sim.now
+            yield from dispatcher.acquire()
+            if remaining[0] <= 0:
+                dispatcher.release()
+                return
+            remaining[0] -= 1
+            yield Delay(scheduler.dispatch_cycles)
+            dispatcher.release()
+            wait[0] += sim.now - request_at
+            yield Delay(task_cycles)
+            busy[0] += task_cycles
+            finish[0] = max(finish[0], sim.now)
+
+    for worker_id in range(n_workers):
+        sim.spawn(worker(worker_id), name=f"worker{worker_id}")
+    sim.run()
+    return TaskFarmResult(scheduler.name, n_workers, task_cycles, n_tasks,
+                          finish[0], busy[0], wait[0])
+
+
+def utilization_curve(scheduler: SchedulerModel, n_workers: int,
+                      grain_sweep: List[float],
+                      total_work: float = 200_000.0) -> Dict[float, float]:
+    """Utilization as a function of task granularity, at constant total
+    work (finer grain = more tasks)."""
+    curve: Dict[float, float] = {}
+    for grain in grain_sweep:
+        n_tasks = max(1, int(round(total_work / grain)))
+        result = task_farm_utilization(scheduler, n_workers, grain, n_tasks)
+        curve[grain] = result.utilization
+    return curve
+
+
+__all__ = ["OsipModel", "RiscSchedulerModel", "SchedulerModel",
+           "TaskFarmResult", "task_farm_utilization", "utilization_curve"]

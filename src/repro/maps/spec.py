@@ -1,0 +1,125 @@
+"""Application and platform specifications for MAPS.
+
+Applications are "specified either as sequential C code or in the form of
+pre-parallelized processes.  In addition, using some lightweight C
+extensions, real-time properties such as latency and period as well as
+preferred PE types can be optionally annotated."  The annotations live in
+:class:`ApplicationSpec` rather than pragmas -- same information, honest
+Python API.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional
+
+from repro.cir.nodes import Program
+from repro.cir.analysis.cost import CostWeights
+
+
+class PEClass(Enum):
+    """Processing-element classes of the coarse architecture model."""
+
+    RISC = "risc"
+    DSP = "dsp"
+    VLIW = "vliw"
+    ACCELERATOR = "accelerator"
+
+    @property
+    def weights(self) -> CostWeights:
+        return CostWeights.for_pe_class(self.value)
+
+
+class RTClass(Enum):
+    """Real-time class of an application.
+
+    "Hard real-time applications are scheduled statically, while soft and
+    non-real-time applications are scheduled dynamically according to
+    their priority in best effort manner."
+    """
+
+    HARD = "hard"
+    SOFT = "soft"
+    BEST_EFFORT = "best_effort"
+
+
+@dataclass
+class PESpec:
+    """One processing element of the target platform."""
+
+    name: str
+    pe_class: PEClass = PEClass.RISC
+    freq: float = 1.0  # speed multiplier
+
+    def cycles_for(self, abstract_cost: float) -> float:
+        return abstract_cost / self.freq
+
+
+@dataclass
+class PlatformSpec:
+    """The predefined heterogeneous MPSoC platform MAPS targets."""
+
+    name: str = "platform"
+    pes: List[PESpec] = field(default_factory=list)
+    channel_setup_cost: float = 10.0     # cycles per message
+    channel_word_cost: float = 0.5       # cycles per word transferred
+    scheduler_dispatch_cost: float = 50.0  # SW-OS task dispatch cycles
+
+    def add_pe(self, name: str, pe_class: PEClass = PEClass.RISC,
+               freq: float = 1.0) -> PESpec:
+        if any(pe.name == name for pe in self.pes):
+            raise ValueError(f"duplicate PE {name!r}")
+        pe = PESpec(name, pe_class, freq)
+        self.pes.append(pe)
+        return pe
+
+    def pe(self, name: str) -> PESpec:
+        for pe in self.pes:
+            if pe.name == name:
+                return pe
+        raise KeyError(f"no PE named {name!r}")
+
+    def pes_of_class(self, pe_class: PEClass) -> List[PESpec]:
+        return [pe for pe in self.pes if pe.pe_class == pe_class]
+
+    def comm_cost(self, words: int) -> float:
+        return self.channel_setup_cost + self.channel_word_cost * words
+
+    @classmethod
+    def symmetric(cls, n_pes: int, pe_class: PEClass = PEClass.RISC,
+                  **kwargs) -> "PlatformSpec":
+        platform = cls(name=f"smp{n_pes}", **kwargs)
+        for index in range(n_pes):
+            platform.add_pe(f"pe{index}", pe_class)
+        return platform
+
+
+@dataclass
+class ApplicationSpec:
+    """One application entering the MAPS flow.
+
+    Exactly one of ``program`` (sequential mini-C, to be partitioned from
+    ``entry``) or ``task_graph`` (pre-parallelized processes) is given.
+    """
+
+    name: str
+    program: Optional[Program] = None
+    entry: str = "main"
+    task_graph: Optional["TaskGraph"] = None  # noqa: F821 (late import)
+    rt_class: RTClass = RTClass.BEST_EFFORT
+    period: Optional[float] = None      # annotation: activation period
+    latency: Optional[float] = None     # annotation: max end-to-end latency
+    priority: int = 10                  # for dynamic best-effort scheduling
+    preferred_pe: Optional[PEClass] = None
+
+    def __post_init__(self) -> None:
+        if (self.program is None) == (self.task_graph is None):
+            raise ValueError(
+                f"app {self.name!r}: give exactly one of program/task_graph")
+        if self.rt_class == RTClass.HARD and self.period is None:
+            raise ValueError(
+                f"app {self.name!r}: hard real-time needs a period annotation")
+
+
+__all__ = ["ApplicationSpec", "PEClass", "PESpec", "PlatformSpec", "RTClass"]

@@ -1,0 +1,141 @@
+"""Task graphs: the intermediate representation between partitioning and
+mapping (section IV).
+
+A :class:`TaskNode` carries an abstract cost (scaled per PE class via the
+coarse cost model) and the AST statements it owns; a :class:`TaskEdge`
+carries the data volume flowing between tasks.  Task graphs are DAGs --
+the fine-grained graphs MAPS forms after dataflow analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cir.nodes import Stmt
+from repro.maps.spec import PEClass
+
+
+@dataclass
+class TaskNode:
+    """One schedulable task."""
+
+    name: str
+    cost: float = 1.0                      # abstract cycles on a 1.0x RISC
+    stmts: List[Stmt] = field(default_factory=list)
+    kind: str = "compute"                  # 'compute'|'split'|'combine'|'stage'
+    preferred_pe: Optional[PEClass] = None
+    # Per-PE-class cost multiplier (from the coarse architecture model);
+    # effective cost on class k = cost * class_factor.get(k, 1.0).
+    class_factor: Dict[PEClass, float] = field(default_factory=dict)
+
+    def cost_on(self, pe_class: PEClass, freq: float = 1.0) -> float:
+        factor = self.class_factor.get(pe_class, 1.0)
+        return self.cost * factor / freq
+
+
+@dataclass
+class TaskEdge:
+    """Data dependence with transfer volume in words."""
+
+    src: str
+    dst: str
+    words: int = 1
+    label: str = ""
+
+
+class TaskGraph:
+    """A DAG of tasks."""
+
+    def __init__(self, name: str = "taskgraph") -> None:
+        self.name = name
+        self.nodes: Dict[str, TaskNode] = {}
+        self.edges: List[TaskEdge] = []
+
+    def add_task(self, name: str, cost: float = 1.0, **kwargs) -> TaskNode:
+        if name in self.nodes:
+            raise ValueError(f"duplicate task {name!r}")
+        node = TaskNode(name, cost, **kwargs)
+        self.nodes[name] = node
+        return node
+
+    def add_node(self, node: TaskNode) -> TaskNode:
+        if node.name in self.nodes:
+            raise ValueError(f"duplicate task {node.name!r}")
+        self.nodes[node.name] = node
+        return node
+
+    def connect(self, src: str, dst: str, words: int = 1,
+                label: str = "") -> TaskEdge:
+        for endpoint in (src, dst):
+            if endpoint not in self.nodes:
+                raise KeyError(f"unknown task {endpoint!r}")
+        edge = TaskEdge(src, dst, words, label)
+        self.edges.append(edge)
+        return edge
+
+    # ------------------------------------------------------------------
+    def predecessors(self, name: str) -> List[str]:
+        return [e.src for e in self.edges if e.dst == name]
+
+    def successors(self, name: str) -> List[str]:
+        return [e.dst for e in self.edges if e.src == name]
+
+    def in_edges(self, name: str) -> List[TaskEdge]:
+        return [e for e in self.edges if e.dst == name]
+
+    def out_edges(self, name: str) -> List[TaskEdge]:
+        return [e for e in self.edges if e.src == name]
+
+    def sources(self) -> List[str]:
+        have_preds = {e.dst for e in self.edges}
+        return [n for n in self.nodes if n not in have_preds]
+
+    def sinks(self) -> List[str]:
+        have_succs = {e.src for e in self.edges}
+        return [n for n in self.nodes if n not in have_succs]
+
+    def topological_order(self) -> List[str]:
+        """Kahn's algorithm; raises on cycles (task graphs must be DAGs)."""
+        in_degree = {name: 0 for name in self.nodes}
+        for edge in self.edges:
+            in_degree[edge.dst] += 1
+        frontier = sorted(n for n, d in in_degree.items() if d == 0)
+        order: List[str] = []
+        while frontier:
+            current = frontier.pop(0)
+            order.append(current)
+            for edge in self.out_edges(current):
+                in_degree[edge.dst] -= 1
+                if in_degree[edge.dst] == 0:
+                    # Insert keeping frontier sorted for determinism.
+                    index = 0
+                    while index < len(frontier) and frontier[index] < edge.dst:
+                        index += 1
+                    frontier.insert(index, edge.dst)
+        if len(order) != len(self.nodes):
+            raise ValueError(f"task graph {self.name!r} has a cycle")
+        return order
+
+    def total_cost(self) -> float:
+        return sum(node.cost for node in self.nodes.values())
+
+    def critical_path_cost(self) -> float:
+        """Longest cost path (communication ignored) -- the span."""
+        longest: Dict[str, float] = {}
+        for name in self.topological_order():
+            node_cost = self.nodes[name].cost
+            preds = self.predecessors(name)
+            longest[name] = node_cost + max(
+                (longest[p] for p in preds), default=0.0)
+        return max(longest.values(), default=0.0)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __repr__(self) -> str:
+        return (f"TaskGraph({self.name!r}, {len(self.nodes)} tasks, "
+                f"{len(self.edges)} edges)")
+
+
+__all__ = ["TaskEdge", "TaskGraph", "TaskNode"]

@@ -1,0 +1,50 @@
+"""Designer-controlled Source Recoder (paper section VI, Figure 3).
+
+"Our Source Recoder is an intelligent union of editor, compiler, and
+transformation and analysis tools.  It consists of a Text Editor
+maintaining a Document Object and a set of Analysis and Transformation
+Tools working on an Abstract Syntax Tree (AST) of the design model.
+Preprocessor and Parser apply changes in the document to the AST, and a
+Code Generator synchronizes changes in the AST to the document object."
+
+- :mod:`repro.recoder.document` -- the Document Object (text + edit log);
+- :mod:`repro.recoder.recoder` -- the synchronization engine and the
+  designer-facing session API;
+- :mod:`repro.recoder.transforms` -- the interactive transformations:
+  loop splitting, shared-data access analysis, vector splitting, variable
+  localization, channel-based synchronization, pointer recoding, control
+  pruning, and pipeline (loop-fission) exposure;
+- :mod:`repro.recoder.productivity` -- the edit-effort model behind the
+  paper's "up to two orders of magnitude" productivity claim (E10).
+"""
+
+from repro.recoder.document import Document, EditOp
+from repro.recoder.recoder import RecoderSession, SyncError
+from repro.recoder.productivity import (
+    ProductivityReport,
+    manual_effort_chars,
+    productivity_gain,
+)
+from repro.recoder.transforms import (
+    TransformError,
+    analyze_shared_accesses,
+    insert_array_channel_sync,
+    make_array_channel_externals,
+    insert_channel_sync,
+    localize_accesses,
+    prune_control,
+    recode_pointers,
+    split_loop,
+    split_loop_fission,
+    split_shared_vector,
+)
+
+__all__ = [
+    "Document", "EditOp", "ProductivityReport", "RecoderSession",
+    "SyncError", "TransformError", "analyze_shared_accesses",
+    "insert_array_channel_sync", "insert_channel_sync",
+    "localize_accesses", "make_array_channel_externals",
+    "manual_effort_chars",
+    "productivity_gain", "prune_control", "recode_pointers", "split_loop",
+    "split_loop_fission", "split_shared_vector",
+]

@@ -1,0 +1,40 @@
+"""Interactive source-level transformations (section VI).
+
+"the designer uses her/his application knowledge and invokes re-coding
+transformations to split loops into code partitions, analyze shared data
+accesses, split vectors of shared data, localize variable accesses, and
+finally synchronize accesses to shared data by inserting communication
+channels. ... Additionally, code restructuring to prune the control
+structure of the code and pointer recoding to replace pointer expressions
+can be used to enhance the analyzability and synthesizability of the
+models."
+
+Every transformation:
+
+- mutates the AST in place (the session clones for undo),
+- returns a :class:`TransformReport` with warnings the designer may
+  concur with or overrule (the recoder is designer-*controlled*, not an
+  automatic compiler), and
+- is semantics-preserving under its stated applicability conditions
+  (verified by interpreter-differential tests).
+"""
+
+from repro.recoder.transforms.base import TransformError, TransformReport
+from repro.recoder.transforms.loops import split_loop, split_loop_fission
+from repro.recoder.transforms.data import (
+    analyze_shared_accesses,
+    insert_array_channel_sync,
+    make_array_channel_externals,
+    insert_channel_sync,
+    localize_accesses,
+    split_shared_vector,
+)
+from repro.recoder.transforms.cleanup import prune_control, recode_pointers
+
+__all__ = [
+    "TransformError", "TransformReport", "analyze_shared_accesses",
+    "insert_array_channel_sync", "insert_channel_sync",
+    "localize_accesses", "make_array_channel_externals", "prune_control",
+    "recode_pointers", "split_loop", "split_loop_fission",
+    "split_shared_vector",
+]

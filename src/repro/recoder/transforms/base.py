@@ -1,0 +1,55 @@
+"""Shared helpers for recoder transformations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.cir.nodes import Block, For, FuncDef, Stmt
+
+
+class TransformError(Exception):
+    """Raised when a transformation's applicability conditions fail."""
+
+
+@dataclass
+class TransformReport:
+    """What a transformation did, plus designer-facing warnings."""
+
+    name: str
+    description: str = ""
+    warnings: List[str] = field(default_factory=list)
+    nodes_changed: int = 0
+
+    def __repr__(self) -> str:
+        tail = f", {len(self.warnings)} warnings" if self.warnings else ""
+        return f"TransformReport({self.name}: {self.description}{tail})"
+
+
+def find_loop(func: FuncDef, line: int) -> For:
+    """The for-loop starting at the given source line."""
+    for node in func.body.walk():
+        if isinstance(node, For) and node.line == line:
+            return node
+    raise TransformError(f"no for-loop at line {line} in {func.name!r}")
+
+
+def find_enclosing_block(func: FuncDef, stmt: Stmt) -> Block:
+    """The block whose stmt list directly contains ``stmt``."""
+    for node in func.body.walk():
+        if isinstance(node, Block) and stmt in node.stmts:
+            return node
+    raise TransformError(f"statement at line {stmt.line} not found in a "
+                         f"block of {func.name!r}")
+
+
+def top_level_index(func: FuncDef, line: int) -> int:
+    """Index of the top-level statement starting at ``line``."""
+    for index, stmt in enumerate(func.body.stmts):
+        if stmt.line == line:
+            return index
+    raise TransformError(f"no top-level statement at line {line}")
+
+
+__all__ = ["TransformError", "TransformReport", "find_enclosing_block",
+           "find_loop", "top_level_index"]

@@ -1,0 +1,235 @@
+"""Analyzability transformations: pointer recoding and control pruning.
+
+"code restructuring to prune the control structure of the code and pointer
+recoding to replace pointer expressions can be used to enhance the
+analyzability and synthesizability of the models" -- section VI.  The A4
+ablation measures exactly this: loops that the dependence tester must
+conservatively serialize while pointers are present become provably DOALL
+after recoding.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from repro.cir.clone import clone
+from repro.cir.nodes import (
+    ArrayIndex, Assign, BinOp, Block, Cond, Decl, Expr, Ident, If, IntLit, Program, Stmt, UnaryOp, )
+from repro.cir.typesys import PointerType
+from repro.recoder.transforms.base import TransformError, TransformReport
+
+
+# ---------------------------------------------------------------------------
+# pointer recoding
+# ---------------------------------------------------------------------------
+
+def recode_pointers(program: Program, func_name: str) -> TransformReport:
+    """Replace pointer expressions with explicit array accesses.
+
+    Handles the single-assignment pattern ``int *p = &A[base];`` (or
+    ``= A``): every ``*p``, ``*(p + e)``, ``p[e]`` becomes
+    ``A[base (+ e)]`` and the pointer declaration is removed.  Pointers
+    that are reassigned, or whose target cannot be identified, are left
+    alone and reported as warnings."""
+    func = program.function(func_name)
+    bindings: Dict[str, Tuple[str, Optional[Expr]]] = {}
+    removable: List[Tuple[Block, Decl]] = []
+    warnings: List[str] = []
+
+    for block in _blocks(func.body):
+        for stmt in list(block.stmts):
+            if isinstance(stmt, Decl) and isinstance(stmt.type, PointerType):
+                target = _pointer_target(stmt.init)
+                if target is None:
+                    warnings.append(
+                        f"pointer {stmt.name!r} at line {stmt.line} has an "
+                        f"unanalyzable initializer; left unchanged")
+                    continue
+                if _is_reassigned(func.body, stmt.name):
+                    warnings.append(
+                        f"pointer {stmt.name!r} is reassigned; left "
+                        f"unchanged")
+                    continue
+                bindings[stmt.name] = target
+                removable.append((block, stmt))
+
+    changed = 0
+    if bindings:
+        changed = _rewrite_pointer_uses(func.body, bindings)
+        for block, decl in removable:
+            if not _name_still_used(func.body, decl.name):
+                block.stmts.remove(decl)
+    return TransformReport(
+        "recode_pointers",
+        f"replaced {changed} pointer expressions "
+        f"({len(bindings)} pointers recoded)",
+        warnings=warnings, nodes_changed=changed)
+
+
+def _blocks(block: Block):
+    yield block
+    for node in block.walk():
+        if isinstance(node, Block) and node is not block:
+            yield node
+
+
+def _pointer_target(init: Optional[Expr]) -> Optional[Tuple[str, Optional[Expr]]]:
+    """Decompose ``&A[base]`` / ``A`` into (array, base-or-None)."""
+    if init is None:
+        return None
+    if isinstance(init, UnaryOp) and init.op == "&" and \
+            isinstance(init.operand, ArrayIndex):
+        root = init.operand.root_ident()
+        if root is not None and isinstance(init.operand.base, Ident):
+            return root.name, init.operand.index
+        return None
+    if isinstance(init, Ident):
+        return init.name, None
+    return None
+
+
+def _is_reassigned(block: Block, name: str) -> bool:
+    count = 0
+    for node in block.walk():
+        if isinstance(node, Assign) and isinstance(node.target, Ident) and \
+                node.target.name == name:
+            count += 1
+    return count > 0
+
+
+def _name_still_used(block: Block, name: str) -> bool:
+    for node in block.walk():
+        if isinstance(node, Ident) and node.name == name:
+            return True
+    return False
+
+
+def _rewrite_pointer_uses(block: Block,
+                          bindings: Dict[str, Tuple[str, Optional[Expr]]]) -> int:
+    changed = [0]
+
+    def to_array_access(pointer: str, offset: Optional[Expr]) -> ArrayIndex:
+        array, base = bindings[pointer]
+        if base is not None and offset is not None:
+            index: Expr = BinOp(op="+", left=clone(base), right=offset)
+        elif base is not None:
+            index = clone(base)
+        elif offset is not None:
+            index = offset
+        else:
+            index = IntLit(value=0)
+        changed[0] += 1
+        return ArrayIndex(base=Ident(name=array), index=index)
+
+    def rewrite_expr(expr: Expr) -> Expr:
+        if isinstance(expr, UnaryOp) and expr.op == "*":
+            inner = expr.operand
+            if isinstance(inner, Ident) and inner.name in bindings:
+                return to_array_access(inner.name, None)
+            if isinstance(inner, BinOp) and inner.op in ("+", "-"):
+                if isinstance(inner.left, Ident) and \
+                        inner.left.name in bindings:
+                    offset = rewrite_expr(inner.right)
+                    if inner.op == "-":
+                        offset = UnaryOp(op="-", operand=offset)
+                    return to_array_access(inner.left.name, offset)
+                if inner.op == "+" and isinstance(inner.right, Ident) and \
+                        inner.right.name in bindings:
+                    return to_array_access(inner.right.name,
+                                           rewrite_expr(inner.left))
+        if isinstance(expr, ArrayIndex):
+            root = expr.base
+            if isinstance(root, Ident) and root.name in bindings:
+                return to_array_access(root.name, rewrite_expr(expr.index))
+        # Generic recursion over expression fields.
+        for field_info in dataclasses.fields(expr):
+            value = getattr(expr, field_info.name)
+            if isinstance(value, Expr):
+                setattr(expr, field_info.name, rewrite_expr(value))
+            elif isinstance(value, list):
+                for i, item in enumerate(value):
+                    if isinstance(item, Expr):
+                        value[i] = rewrite_expr(item)
+        return expr
+
+    def rewrite_stmt(stmt: Stmt) -> None:
+        for field_info in dataclasses.fields(stmt):
+            value = getattr(stmt, field_info.name)
+            if isinstance(value, Expr):
+                setattr(stmt, field_info.name, rewrite_expr(value))
+            elif isinstance(value, Block):
+                for inner in value.stmts:
+                    rewrite_stmt(inner)
+            elif isinstance(value, Stmt):
+                rewrite_stmt(value)
+            elif isinstance(value, list):
+                for item in value:
+                    if isinstance(item, Stmt):
+                        rewrite_stmt(item)
+
+    for stmt in block.stmts:
+        rewrite_stmt(stmt)
+    return changed[0]
+
+
+# ---------------------------------------------------------------------------
+# control pruning
+# ---------------------------------------------------------------------------
+
+def prune_control(program: Program, func_name: str) -> TransformReport:
+    """Prune the control structure: fold constant branches, flatten
+    nested blocks, and convert two-sided scalar-assignment ifs into
+    conditional assignments."""
+    func = program.function(func_name)
+    changed = [0]
+
+    def prune_block(block: Block) -> None:
+        new_stmts: List[Stmt] = []
+        for stmt in block.stmts:
+            for child in stmt.children():
+                if isinstance(child, Block):
+                    prune_block(child)
+            replaced = _prune_stmt(stmt, changed)
+            if isinstance(replaced, list):
+                new_stmts.extend(replaced)
+            else:
+                new_stmts.append(replaced)
+        block.stmts[:] = new_stmts
+
+    prune_block(func.body)
+    return TransformReport("prune_control",
+                           f"{changed[0]} control constructs simplified",
+                           nodes_changed=changed[0])
+
+
+def _prune_stmt(stmt: Stmt, changed: List[int]):
+    if isinstance(stmt, If):
+        # Constant test: keep only the taken branch.
+        if isinstance(stmt.test, IntLit):
+            changed[0] += 1
+            branch = stmt.then if stmt.test.value else stmt.other
+            return list(branch.stmts) if branch is not None else []
+        # Two-sided scalar assignment -> conditional assignment.
+        if stmt.other is not None and len(stmt.then.stmts) == 1 and \
+                len(stmt.other.stmts) == 1:
+            then_stmt, else_stmt = stmt.then.stmts[0], stmt.other.stmts[0]
+            if (isinstance(then_stmt, Assign) and isinstance(else_stmt, Assign)
+                    and isinstance(then_stmt.target, Ident)
+                    and isinstance(else_stmt.target, Ident)
+                    and then_stmt.target.name == else_stmt.target.name
+                    and not then_stmt.op and not else_stmt.op):
+                changed[0] += 1
+                return Assign(
+                    target=Ident(name=then_stmt.target.name),
+                    value=Cond(test=stmt.test, then=then_stmt.value,
+                               other=else_stmt.value),
+                    line=stmt.line)
+    if isinstance(stmt, Block):
+        # Flatten a bare nested block into its parent.
+        changed[0] += 1
+        return list(stmt.stmts)
+    return stmt
+
+
+__all__ = ["prune_control", "recode_pointers"]

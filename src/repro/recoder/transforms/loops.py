@@ -1,0 +1,147 @@
+"""Loop partitioning transformations: chunk split and fission.
+
+- :func:`split_loop` -- "split loops into code partitions": one counted
+  loop becomes ``k`` consecutive sub-range loops.  Because the chunks
+  execute in original iteration order, this is semantics-preserving for
+  *any* counted step-1 loop (even sequential ones); the partitions become
+  units for mapping to cores.
+- :func:`split_loop_fission` -- "expose pipelined parallelism": the loop
+  body is distributed over two loops at a statement boundary (classic
+  loop distribution).  Legal when no value flows backward across the cut;
+  the analysis result is reported as warnings for the designer to concur
+  with or overrule.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.cir.analysis.dataflow import stmt_defs, stmt_uses
+from repro.cir.analysis.dependence import (
+    _extract_counted_header, )
+from repro.cir.clone import clone, clone_list
+from repro.cir.nodes import (
+    Assign, BinOp, Block, For, Ident, IntLit, Program, Stmt,
+)
+from repro.recoder.transforms.base import (
+    TransformError, TransformReport, find_enclosing_block, find_loop,
+)
+
+
+def split_loop(program: Program, func_name: str, line: int,
+               k: int) -> TransformReport:
+    """Split the counted loop at ``line`` into ``k`` sub-range loops."""
+    if k < 2:
+        raise TransformError("k must be >= 2")
+    func = program.function(func_name)
+    loop = find_loop(func, line)
+    header = _extract_counted_header(loop)
+    if header is None:
+        raise TransformError(f"loop at line {line} is not a counted loop")
+    var, lower, upper, step = header
+    if step != 1:
+        raise TransformError("only step-1 loops can be chunk-split")
+    if not isinstance(lower, IntLit) or not isinstance(upper, IntLit):
+        raise TransformError("chunk split needs literal loop bounds")
+
+    low, high = lower.value, upper.value
+    span = max(0, high - low)
+    base = span // k
+    remainder = span % k
+    pieces: List[For] = []
+    cursor = low
+    for index in range(k):
+        size = base + (1 if index < remainder else 0)
+        piece = clone(loop)
+        piece.init = Assign(target=Ident(name=var),
+                            value=IntLit(value=cursor))
+        piece.test = BinOp(op="<", left=Ident(name=var),
+                           right=IntLit(value=cursor + size))
+        piece.step = Assign(target=Ident(name=var), value=IntLit(value=1),
+                            op="+")
+        pieces.append(piece)
+        cursor += size
+
+    block = find_enclosing_block(func, loop)
+    position = block.stmts.index(loop)
+    block.stmts[position:position + 1] = pieces
+    return TransformReport(
+        "split_loop",
+        f"loop at line {line} split into {k} partitions of "
+        f"~{base} iterations",
+        nodes_changed=k)
+
+
+def split_loop_fission(program: Program, func_name: str, line: int,
+                       cut: int) -> TransformReport:
+    """Distribute the loop at ``line`` into two loops at body index ``cut``.
+
+    The first loop runs body statements ``[0, cut)`` for all iterations,
+    then the second runs ``[cut, ...)`` for all iterations.  Warnings are
+    produced when a value may flow from the second group back into the
+    first across iterations (designer decides)."""
+    func = program.function(func_name)
+    loop = find_loop(func, line)
+    if not 0 < cut < len(loop.body.stmts):
+        raise TransformError(
+            f"cut {cut} out of range for a body of "
+            f"{len(loop.body.stmts)} statements")
+    first_stmts = loop.body.stmts[:cut]
+    second_stmts = loop.body.stmts[cut:]
+
+    warnings: List[str] = []
+    # Backward flow check: second group defines something first group uses.
+    first_uses = set()
+    first_defs = set()
+    for stmt in first_stmts:
+        for node in stmt.walk():
+            if isinstance(node, Stmt):
+                first_uses |= stmt_uses(node)
+                first_defs |= stmt_defs(node)
+    second_defs = set()
+    for stmt in second_stmts:
+        for node in stmt.walk():
+            if isinstance(node, Stmt):
+                second_defs |= stmt_defs(node)
+    header = _extract_counted_header(loop)
+    loop_var = header[0] if header else None
+    backward = (second_defs & first_uses) - {loop_var}
+    if backward:
+        warnings.append(
+            f"possible backward flow across the cut via "
+            f"{sorted(backward)}; fission changes semantics if the flow is "
+            f"loop-carried")
+    # Scalars defined in group 1 and used in group 2 must be arrays or
+    # per-iteration temporaries; a scalar carried between the loops only
+    # keeps its last-iteration value.
+    carried_scalars = sorted((first_defs & _group_uses(second_stmts))
+                             - {loop_var})
+    if carried_scalars:
+        warnings.append(
+            f"values {carried_scalars} flow from group 1 to group 2; after "
+            f"fission group 2 sees only the LAST iteration's value unless "
+            f"they are arrays indexed by the loop variable")
+
+    first = clone(loop)
+    first.body = Block(stmts=clone_list(first_stmts))
+    second = clone(loop)
+    second.body = Block(stmts=clone_list(second_stmts))
+    block = find_enclosing_block(func, loop)
+    position = block.stmts.index(loop)
+    block.stmts[position:position + 1] = [first, second]
+    return TransformReport(
+        "split_loop_fission",
+        f"loop at line {line} distributed at body index {cut}",
+        warnings=warnings, nodes_changed=2)
+
+
+def _group_uses(stmts: List[Stmt]) -> set:
+    uses = set()
+    for stmt in stmts:
+        for node in stmt.walk():
+            if isinstance(node, Stmt):
+                uses |= stmt_uses(node)
+    return uses
+
+
+__all__ = ["split_loop", "split_loop_fission"]

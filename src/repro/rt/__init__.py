@@ -1,0 +1,39 @@
+"""Real-time task models and executives (paper section III).
+
+The NXP Hijdra position is that *data-driven* execution puts fewer
+constraints on application software than *time-triggered* execution: when a
+task overruns an unreliable worst-case execution-time estimate, a
+time-triggered system corrupts data **inside** the application (a buffer is
+overwritten, or the same data is read again), while a data-driven system
+with back-pressure only ever corrupts data at the periodic **source and
+sink** boundary -- where applications are typically robust.
+
+This package provides:
+
+- :mod:`repro.rt.tasks` -- periodic task sets, utilization, hyperperiods;
+- :mod:`repro.rt.analysis` -- fixed-priority response-time analysis and
+  EDF / rate-monotonic schedulability tests;
+- :mod:`repro.rt.pipeline` -- the stream-pipeline application model shared
+  by both executives;
+- :mod:`repro.rt.time_triggered` -- a Kopetz-style time-triggered executive
+  driven by a design-time periodic schedule;
+- :mod:`repro.rt.data_driven` -- a Hijdra-style data-driven executive with
+  back-pressured FIFOs and timer-triggered source/sink.
+"""
+
+from repro.rt.tasks import PeriodicTask, TaskSet, hyperperiod
+from repro.rt.analysis import (
+    edf_schedulable,
+    rate_monotonic_bound,
+    response_time_analysis,
+)
+from repro.rt.pipeline import PipelineSpec, StageSpec, make_jitter_fn
+from repro.rt.time_triggered import TimeTriggeredResult, run_time_triggered
+from repro.rt.data_driven import DataDrivenResult, run_data_driven
+
+__all__ = [
+    "DataDrivenResult", "PeriodicTask", "PipelineSpec", "StageSpec",
+    "TaskSet", "TimeTriggeredResult", "edf_schedulable", "hyperperiod",
+    "make_jitter_fn", "rate_monotonic_bound", "response_time_analysis",
+    "run_data_driven", "run_time_triggered",
+]

@@ -1,0 +1,71 @@
+"""Classical schedulability analyses for periodic task sets.
+
+The section-II position calls for "a predictable approach ... that can meet
+application dead-line requirements"; these are the standard design-time
+tests such an OS would run before admitting tasks.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+from repro.rt.tasks import TaskSet
+
+
+def rate_monotonic_bound(n: int) -> float:
+    """Liu & Layland utilization bound for n tasks: n(2^(1/n) - 1)."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    return n * (2 ** (1 / n) - 1)
+
+
+def edf_schedulable(task_set: TaskSet) -> bool:
+    """EDF on one processor: schedulable iff utilization <= 1 (implicit
+    deadlines)."""
+    implicit = all(task.deadline == task.period for task in task_set)
+    if not implicit:
+        # Density test (sufficient, not necessary) for constrained deadlines.
+        density = sum(task.wcet / min(task.deadline, task.period)
+                      for task in task_set)
+        return density <= 1.0 + 1e-12
+    return task_set.utilization <= 1.0 + 1e-12
+
+
+def response_time_analysis(task_set: TaskSet,
+                           max_iterations: int = 10_000) -> Dict[str, Optional[float]]:
+    """Exact fixed-priority response-time analysis (single processor).
+
+    Returns each task's worst-case response time, or ``None`` when the
+    recurrence diverges past the deadline (unschedulable task).
+    Priority order: explicit priorities if given, else rate-monotonic.
+    """
+    ordered = task_set.by_priority()
+    results: Dict[str, Optional[float]] = {}
+    for index, task in enumerate(ordered):
+        higher = ordered[:index]
+        response = task.wcet
+        for _ in range(max_iterations):
+            interference = sum(
+                math.ceil(response / other.period) * other.wcet
+                for other in higher)
+            updated = task.wcet + interference
+            if updated > task.deadline:
+                response = None  # type: ignore[assignment]
+                break
+            if abs(updated - response) < 1e-12:
+                response = updated
+                break
+            response = updated
+        results[task.name] = response
+    return results
+
+
+def fixed_priority_schedulable(task_set: TaskSet) -> bool:
+    """True when every task's worst-case response time meets its deadline."""
+    responses = response_time_analysis(task_set)
+    return all(response is not None for response in responses.values())
+
+
+__all__ = ["edf_schedulable", "fixed_priority_schedulable",
+           "rate_monotonic_bound", "response_time_analysis"]

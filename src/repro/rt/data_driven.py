@@ -1,0 +1,142 @@
+"""Data-driven executive (Hijdra-style, paper section III).
+
+All internal stages start on the *arrival of data*: they block on their
+input FIFO, compute, and block on their output FIFO when it is full
+(back-pressure).  Only the source and sink are timer-triggered:
+
+- the **source** fires every period; if its output FIFO is full the new
+  sample *overwrites* the oldest one (corruption at the source boundary);
+- the **sink** fires every period; if no data is available it reports a
+  miss (corruption at the sink boundary).
+
+The section-III claim this executive demonstrates: execution-time overruns
+never corrupt data *inside* the application -- overruns surface only as
+boundary effects at the source/sink, where "often the functionality is
+robust to corruption".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.desim import Delay, Fifo, Simulator
+from repro.rt.pipeline import DeliveredItem, PipelineSpec
+
+
+@dataclass
+class DataDrivenResult:
+    """Outcome of a data-driven pipeline run."""
+
+    delivered: List[DeliveredItem] = field(default_factory=list)
+    source_drops: int = 0        # boundary corruption at the source
+    sink_misses: int = 0         # boundary corruption at the sink
+    out_of_order: int = 0        # internal corruption (must stay 0)
+    duplicates: int = 0          # internal corruption (must stay 0)
+    jobs_run: int = 0
+    fifo_occupancy: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def internal_corruptions(self) -> int:
+        return self.out_of_order + self.duplicates
+
+    @property
+    def boundary_corruptions(self) -> int:
+        return self.source_drops + self.sink_misses
+
+    @property
+    def delivered_ok(self) -> int:
+        return sum(1 for item in self.delivered if item.received_seq is not None)
+
+
+def run_data_driven(spec: PipelineSpec, jobs: int,
+                    fifo_capacity: int = 2) -> DataDrivenResult:
+    """Execute ``jobs`` pipeline iterations under the data-driven executive.
+
+    ``fifo_capacity`` is the per-edge buffer capacity computed at design
+    time (see :mod:`repro.dataflow.buffer_sizing`); small capacities trade
+    more source-boundary drops for less memory, but never internal
+    corruption.
+    """
+    spec.validate()
+    sim = Simulator()
+    result = DataDrivenResult()
+    stage_count = len(spec.stages)
+    fifos = [Fifo(capacity=fifo_capacity, name=f"q{k}")
+             for k in range(stage_count - 1)]
+
+    def source_process():
+        stage = spec.stages[0]
+        for job in range(jobs):
+            trigger = job * spec.period
+            if trigger > sim.now:
+                yield Delay(trigger - sim.now)
+            yield Delay(stage.execution_time(job))
+            if stage_count == 1:
+                result.delivered.append(DeliveredItem(job, job, sim.now))
+                continue
+            accepted = fifos[0].put_nowait(job, overwrite=True)
+            if not accepted or fifos[0].overwrites:
+                pass  # overwrite counting handled below via fifo stats
+        result.jobs_run = jobs
+
+    def worker_process(stage_index: int):
+        stage = spec.stages[stage_index]
+        inbox = fifos[stage_index - 1]
+        outbox = fifos[stage_index] if stage_index < stage_count - 1 else None
+        job = 0
+        expected_min = -1
+        while True:
+            value = yield from inbox.get()
+            if value <= expected_min:
+                result.duplicates += 1
+            elif value < expected_min:
+                result.out_of_order += 1
+            expected_min = max(expected_min, value)
+            yield Delay(stage.execution_time(job))
+            job += 1
+            if outbox is not None:
+                yield from outbox.put(value)  # blocking: back-pressure
+            else:
+                raise AssertionError("last worker must be the sink")
+
+    def sink_process():
+        stage = spec.stages[-1]
+        inbox = fifos[-1]
+        # Steady-state latency from the WCET estimates, plus a tiny slack
+        # so an exactly-on-time arrival beats the sink's trigger (mirrors
+        # the time-triggered executive's schedule slack).
+        latency = sum(s.wcet_estimate for s in spec.stages[:-1]) \
+            + spec.period * 1e-6 * len(spec.stages)
+        job = 0
+        last_seen = -1
+        while job < jobs:
+            trigger = job * spec.period + latency
+            if trigger > sim.now:
+                yield Delay(trigger - sim.now)
+            if inbox.empty:
+                result.sink_misses += 1
+                result.delivered.append(DeliveredItem(job, None, sim.now))
+            else:
+                value = inbox.get_nowait()
+                if value <= last_seen:
+                    result.duplicates += 1
+                last_seen = value
+                yield Delay(stage.execution_time(job))
+                result.delivered.append(DeliveredItem(job, value, sim.now))
+            job += 1
+
+    sim.spawn(source_process(), name=spec.stages[0].name)
+    for index in range(1, stage_count - 1):
+        sim.spawn(worker_process(index), name=spec.stages[index].name)
+    if stage_count > 1:
+        sim.spawn(sink_process(), name=spec.stages[-1].name)
+    sim.run()
+
+    result.source_drops = fifos[0].overwrites if fifos else 0
+    result.fifo_occupancy = {f.name: f.max_occupancy for f in fifos}
+    # Kill any still-blocked workers (drained pipeline).
+    return result
+
+
+__all__ = ["DataDrivenResult", "run_data_driven"]

@@ -1,0 +1,113 @@
+"""The stream-pipeline application model shared by both executives.
+
+A pipeline is a chain of stages (car-radio style: sample -> filter ->
+decode -> postprocess -> DAC).  The source produces item ``j`` carrying the
+payload ``j``; every stage applies the identity transformation, so any
+duplicate, loss, or tearing introduced by the *executive* is directly
+observable at the sink.  Stages declare a WCET **estimate**; actual
+execution times come from ``exec_time_fn`` and may exceed the estimate --
+that is precisely the "unreliable worst-case execution time estimate" whose
+consequences section III analyses.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+
+@dataclass
+class StageSpec:
+    """One pipeline stage running on its own processing element."""
+
+    name: str
+    wcet_estimate: float
+    exec_time_fn: Optional[Callable[[int], float]] = None
+
+    def execution_time(self, job_index: int) -> float:
+        if self.exec_time_fn is not None:
+            return float(self.exec_time_fn(job_index))
+        return self.wcet_estimate
+
+
+@dataclass
+class PipelineSpec:
+    """A source-to-sink pipeline with a common period."""
+
+    period: float
+    stages: List[StageSpec] = field(default_factory=list)
+    name: str = "pipeline"
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ValueError("period must be positive")
+
+    def add_stage(self, name: str, wcet_estimate: float,
+                  exec_time_fn: Optional[Callable[[int], float]] = None) -> StageSpec:
+        stage = StageSpec(name, wcet_estimate, exec_time_fn)
+        self.stages.append(stage)
+        return stage
+
+    @property
+    def stage_names(self) -> List[str]:
+        return [stage.name for stage in self.stages]
+
+    def validate(self) -> None:
+        if len(self.stages) < 1:
+            raise ValueError("pipeline needs at least one stage")
+        seen = set()
+        for stage in self.stages:
+            if stage.name in seen:
+                raise ValueError(f"duplicate stage name {stage.name!r}")
+            seen.add(stage.name)
+
+
+def make_jitter_fn(wcet_estimate: float, overrun_probability: float,
+                   overrun_factor: float = 1.5, seed: int = 0,
+                   jitter: float = 0.1) -> Callable[[int], float]:
+    """Deterministic pseudo-random execution-time generator.
+
+    With probability ``overrun_probability`` a job takes
+    ``wcet_estimate * overrun_factor`` (the estimate was unreliable);
+    otherwise it takes a uniform draw in
+    ``[(1 - jitter) * wcet, wcet]``.  Seeded per-stage so results are
+    reproducible -- an essential property for the E4 bench.
+    """
+    if not 0.0 <= overrun_probability <= 1.0:
+        raise ValueError("overrun_probability must be in [0, 1]")
+    rng = random.Random(seed)
+    # Pre-drawing lazily with a cache keeps fn(j) a pure function of j.
+    cache: dict = {}
+
+    def fn(job_index: int) -> float:
+        if job_index not in cache:
+            # Draw in order so the sequence is reproducible regardless of
+            # query order.
+            next_index = len(cache)
+            while next_index <= job_index:
+                if rng.random() < overrun_probability:
+                    value = wcet_estimate * overrun_factor
+                else:
+                    value = wcet_estimate * (1 - jitter * rng.random())
+                cache[next_index] = value
+                next_index += 1
+        return cache[job_index]
+
+    return fn
+
+
+@dataclass
+class DeliveredItem:
+    """An item observed at the sink."""
+
+    expected_seq: int
+    received_seq: Optional[int]  # None = nothing available (miss)
+    time: float
+
+    @property
+    def ok(self) -> bool:
+        return self.received_seq == self.expected_seq
+
+
+__all__ = ["DeliveredItem", "PipelineSpec", "StageSpec", "make_jitter_fn"]

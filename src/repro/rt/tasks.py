@@ -1,0 +1,102 @@
+"""Periodic task-set model used by the schedulability analyses and the
+many-core OS benches."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from math import gcd
+from typing import Callable, List, Optional
+
+
+@dataclass
+class PeriodicTask:
+    """A periodic real-time task.
+
+    ``wcet`` is the *declared* worst-case execution time used by analysis;
+    ``exec_time_fn(job_index)`` gives the actual execution time of each job
+    and may exceed ``wcet`` (the paper's "unreliable worst-case execution
+    time estimate").
+    """
+
+    name: str
+    period: float
+    wcet: float
+    deadline: Optional[float] = None
+    priority: Optional[int] = None  # lower number = higher priority
+    exec_time_fn: Optional[Callable[[int], float]] = None
+    parallelism: int = 1  # cores requested when space-shared (section II)
+    hard: bool = True
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ValueError(f"task {self.name!r}: period must be positive")
+        if self.wcet <= 0:
+            raise ValueError(f"task {self.name!r}: wcet must be positive")
+        if self.deadline is None:
+            self.deadline = self.period
+        if self.deadline <= 0:
+            raise ValueError(f"task {self.name!r}: deadline must be positive")
+
+    @property
+    def utilization(self) -> float:
+        return self.wcet / self.period
+
+    def execution_time(self, job_index: int) -> float:
+        if self.exec_time_fn is not None:
+            return float(self.exec_time_fn(job_index))
+        return self.wcet
+
+    def __repr__(self) -> str:
+        return (f"PeriodicTask({self.name!r}, T={self.period}, "
+                f"C={self.wcet}, D={self.deadline})")
+
+
+@dataclass
+class TaskSet:
+    """An ordered collection of periodic tasks."""
+
+    tasks: List[PeriodicTask] = field(default_factory=list)
+
+    def add(self, task: PeriodicTask) -> PeriodicTask:
+        if any(t.name == task.name for t in self.tasks):
+            raise ValueError(f"duplicate task name {task.name!r}")
+        self.tasks.append(task)
+        return task
+
+    @property
+    def utilization(self) -> float:
+        return sum(task.utilization for task in self.tasks)
+
+    def by_priority(self) -> List[PeriodicTask]:
+        """Tasks sorted by explicit priority, falling back to rate-monotonic
+        order (shorter period = higher priority)."""
+        if all(task.priority is not None for task in self.tasks):
+            return sorted(self.tasks, key=lambda t: (t.priority, t.period))
+        return sorted(self.tasks, key=lambda t: (t.period, t.name))
+
+    def __iter__(self):
+        return iter(self.tasks)
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+
+def hyperperiod(periods: List[float], resolution: float = 1e-6) -> float:
+    """Least common multiple of (possibly fractional) periods."""
+    if not periods:
+        raise ValueError("no periods")
+    fractions = [Fraction(p).limit_denominator(int(1 / resolution))
+                 for p in periods]
+    denominator = 1
+    for frac in fractions:
+        denominator = denominator * frac.denominator // gcd(
+            denominator, frac.denominator)
+    numerators = [int(frac * denominator) for frac in fractions]
+    result = numerators[0]
+    for value in numerators[1:]:
+        result = result * value // gcd(result, value)
+    return result / denominator
+
+
+__all__ = ["PeriodicTask", "TaskSet", "hyperperiod"]

@@ -1,0 +1,39 @@
+"""Virtual platform: a functionally accurate MPSoC simulator (section VII).
+
+"A virtual platform is [a] functionally accurate simulator of a SoC that
+executes exactly the same binary software that the real hardware executes."
+
+This package provides the full stack:
+
+- :mod:`repro.vp.isa` -- a tiny word-addressed RISC ISA with an assembler;
+- :mod:`repro.vp.iss` -- the instruction-set simulator (one core);
+- :mod:`repro.vp.bus` -- address decoding to RAM and peripherals;
+- :mod:`repro.vp.peripherals` -- timer, interrupt controller, DMA,
+  semaphore, UART, shared memory controller;
+- :mod:`repro.vp.soc` -- SoC builder wiring cores + peripherals;
+- :mod:`repro.vp.debugger` -- the *non-intrusive* virtual-platform
+  debugger: synchronous whole-system suspend, breakpoints, memory and
+  signal watchpoints, consistent state inspection;
+- :mod:`repro.vp.intrusive` -- a model of a *hardware probe* debugger that
+  stalls only the core under debug while the rest of the system keeps
+  running (the source of Heisenbugs);
+- :mod:`repro.vp.script` -- the scriptable debug framework: system-level
+  software assertions without changing the software (TCL stand-in);
+- :mod:`repro.vp.trace` -- hardware/software tracing.
+"""
+
+from repro.vp.isa import AsmError, AsmProgram, assemble
+from repro.vp.iss import CoreState, Cpu
+from repro.vp.bus import Bus, BusError
+from repro.vp.soc import SoC, SoCConfig
+from repro.vp.debugger import Breakpoint, Debugger, Watchpoint
+from repro.vp.intrusive import HardwareProbe
+from repro.vp.script import DebugScriptEngine, ScriptError
+from repro.vp.trace import TraceEvent, Tracer
+
+__all__ = [
+    "AsmError", "AsmProgram", "Breakpoint", "Bus", "BusError", "CoreState",
+    "Cpu", "Debugger", "DebugScriptEngine", "HardwareProbe", "SoC",
+    "SoCConfig", "ScriptError", "TraceEvent", "Tracer", "Watchpoint",
+    "assemble",
+]

@@ -1,0 +1,127 @@
+"""System bus: address decoding, RAM, and access observation.
+
+All core and DMA memory traffic goes through a :class:`Bus`.  The bus
+publishes every access to registered observers, which is how the
+virtual-platform debugger implements *peripheral access watchpoints*
+("suspending execution when a specific core or DMA is writing to a shared
+resource") without perturbing the software -- observation happens in the
+simulator, not in the simulated program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Protocol, Tuple
+
+
+class BusError(Exception):
+    """Raised on an access to an unmapped address."""
+
+
+class Device(Protocol):
+    """Anything mappable on the bus."""
+
+    def read(self, offset: int) -> int: ...
+
+    def write(self, offset: int, value: int) -> None: ...
+
+
+@dataclass
+class _Mapping:
+    base: int
+    size: int
+    device: Device
+    name: str
+
+
+# Observer signature: (kind, address, value, master) where kind is
+# 'read' | 'write' and master identifies who drove the access ("core0",
+# "dma", ...).
+AccessObserver = Callable[[str, int, int, str], None]
+
+
+class Ram:
+    """Word-addressed RAM."""
+
+    def __init__(self, size: int) -> None:
+        self.size = size
+        self.words = [0] * size
+
+    def read(self, offset: int) -> int:
+        return self.words[offset]
+
+    def write(self, offset: int, value: int) -> None:
+        self.words[offset] = value
+
+    def load(self, base: int, values: Dict[int, int]) -> None:
+        for address, value in values.items():
+            self.words[address - base] = value
+
+
+class Bus:
+    """Address decoder with access observation."""
+
+    def __init__(self, name: str = "bus") -> None:
+        self.name = name
+        self.mappings: List[_Mapping] = []
+        self.observers: List[AccessObserver] = []
+        self.reads = 0
+        self.writes = 0
+
+    def attach(self, base: int, size: int, device: Device,
+               name: str = "") -> None:
+        for mapping in self.mappings:
+            if base < mapping.base + mapping.size and mapping.base < base + size:
+                raise ValueError(
+                    f"mapping {name!r} overlaps {mapping.name!r}")
+        self.mappings.append(_Mapping(base, size, device,
+                                      name or type(device).__name__))
+        self.mappings.sort(key=lambda m: m.base)
+
+    def observe(self, observer: AccessObserver) -> None:
+        self.observers.append(observer)
+
+    def unobserve(self, observer: AccessObserver) -> None:
+        if observer in self.observers:
+            self.observers.remove(observer)
+
+    def _decode(self, address: int) -> Tuple[_Mapping, int]:
+        for mapping in self.mappings:
+            if mapping.base <= address < mapping.base + mapping.size:
+                return mapping, address - mapping.base
+        raise BusError(f"unmapped address {address:#x}")
+
+    def read(self, address: int, master: str = "?") -> int:
+        mapping, offset = self._decode(address)
+        value = mapping.device.read(offset)
+        self.reads += 1
+        for observer in list(self.observers):
+            observer("read", address, value, master)
+        return value
+
+    def write(self, address: int, value: int, master: str = "?") -> None:
+        mapping, offset = self._decode(address)
+        mapping.device.write(offset, value)
+        self.writes += 1
+        for observer in list(self.observers):
+            observer("write", address, value, master)
+
+    def peek(self, address: int) -> int:
+        """Debugger back-door read: no side effects, no observation."""
+        mapping, offset = self._decode(address)
+        peek = getattr(mapping.device, "peek", None)
+        if peek is not None:
+            return peek(offset)
+        return mapping.device.read(offset)
+
+    def poke(self, address: int, value: int) -> None:
+        """Debugger back-door write: bypasses observers."""
+        mapping, offset = self._decode(address)
+        mapping.device.write(offset, value)
+
+    def region_of(self, address: int) -> str:
+        mapping, _ = self._decode(address)
+        return mapping.name
+
+
+__all__ = ["AccessObserver", "Bus", "BusError", "Device", "Ram"]

@@ -1,0 +1,251 @@
+"""The non-intrusive virtual-platform debugger (section VII).
+
+"Using a virtual platform the entire system can be synchronously suspended
+from execution.  This non-intrusive system suspension does not impact the
+system behaviour ... During a system suspend, a virtual platform provides a
+consistent view into the state of all cores and peripherals."
+
+The debugger drives the simulation one kernel event at a time
+(:meth:`SoC.step`), checking stop conditions *between* events -- so when it
+stops, **nothing** in the platform has advanced past the stop point: every
+core register, peripheral register and signal is consistent, and resuming
+continues bit-identically.  Crucially, none of the inspection APIs consume
+simulated time, so debugging cannot change program behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.desim import Signal
+from repro.vp.iss import CoreState
+from repro.vp.soc import SoC
+
+
+@dataclass
+class Breakpoint:
+    """Stop before core ``core_id`` executes the instruction at ``pc``."""
+
+    core_id: int
+    pc: int
+    enabled: bool = True
+    hits: int = 0
+
+
+@dataclass
+class Watchpoint:
+    """Stop on a matching bus access or signal change.
+
+    ``kind`` is ``'write'``, ``'read'``, ``'access'`` (either) for bus
+    watchpoints, or ``'signal'`` for signal watchpoints.  ``master``
+    optionally restricts bus watchpoints to one bus master (e.g. ``"dma"``
+    or ``"core1"``) -- the paper's "suspending execution when a specific
+    core or DMA is writing to a shared resource".
+    """
+
+    kind: str
+    address: Optional[int] = None
+    length: int = 1
+    master: Optional[str] = None
+    signal_name: Optional[str] = None
+    value_predicate: Optional[Callable[[int], bool]] = None
+    enabled: bool = True
+    hits: int = 0
+    last_hit: Optional[Tuple[Any, ...]] = None
+
+
+@dataclass
+class StopReason:
+    """Why the debugger suspended the system."""
+
+    kind: str  # 'breakpoint' | 'watchpoint' | 'halted' | 'limit' | 'idle'
+    detail: str = ""
+    breakpoint: Optional[Breakpoint] = None
+    watchpoint: Optional[Watchpoint] = None
+    time: float = 0.0
+
+    def __repr__(self) -> str:
+        return f"StopReason({self.kind}: {self.detail} @ {self.time})"
+
+
+class Debugger:
+    """Whole-system debugger over one :class:`SoC`."""
+
+    def __init__(self, soc: SoC) -> None:
+        self.soc = soc
+        self.breakpoints: List[Breakpoint] = []
+        self.watchpoints: List[Watchpoint] = []
+        self._pending: List[StopReason] = []
+        self.stops: List[StopReason] = []
+        self.soc.bus.observe(self._on_bus_access)
+        self._signal_hooks: List[Tuple[Signal, Callable]] = []
+
+    # ------------------------------------------------------------------
+    # condition registration
+    # ------------------------------------------------------------------
+    def add_breakpoint(self, core_id: int, pc: int) -> Breakpoint:
+        bp = Breakpoint(core_id, pc)
+        self.breakpoints.append(bp)
+        return bp
+
+    def add_watchpoint(self, kind: str, address: Optional[int] = None,
+                       length: int = 1, master: Optional[str] = None,
+                       value_predicate: Optional[Callable[[int], bool]] = None) -> Watchpoint:
+        if kind not in ("read", "write", "access"):
+            raise ValueError(f"bad bus watchpoint kind {kind!r}")
+        if address is None:
+            raise ValueError("bus watchpoint needs an address")
+        wp = Watchpoint(kind, address, length, master,
+                        value_predicate=value_predicate)
+        self.watchpoints.append(wp)
+        return wp
+
+    def add_signal_watchpoint(self, signal_name: str,
+                              edge: str = "change") -> Watchpoint:
+        """Watch a platform signal ('change' | 'posedge' | 'negedge')."""
+        signal = self.soc.signal(signal_name)
+        wp = Watchpoint("signal", signal_name=signal_name)
+        self.watchpoints.append(wp)
+
+        def on_event(payload: Any) -> None:
+            if not wp.enabled:
+                return
+            wp.hits += 1
+            wp.last_hit = (self.soc.sim.now, signal_name, payload)
+            self._pending.append(StopReason(
+                "watchpoint", f"signal {signal_name} {edge}",
+                watchpoint=wp, time=self.soc.sim.now))
+
+        event = {"change": signal.changed, "posedge": signal.posedge,
+                 "negedge": signal.negedge}[edge]
+        event.subscribe(on_event)
+        self._signal_hooks.append((signal, on_event))
+        return wp
+
+    def _on_bus_access(self, kind: str, address: int, value: int,
+                       master: str) -> None:
+        for wp in self.watchpoints:
+            if not wp.enabled or wp.kind == "signal":
+                continue
+            if wp.kind != "access" and wp.kind != kind:
+                continue
+            if not (wp.address <= address < wp.address + wp.length):
+                continue
+            if wp.master is not None and wp.master != master:
+                continue
+            if wp.value_predicate is not None and \
+                    not wp.value_predicate(value):
+                continue
+            wp.hits += 1
+            wp.last_hit = (self.soc.sim.now, kind, address, value, master)
+            self._pending.append(StopReason(
+                "watchpoint",
+                f"{master} {kind} [{address:#x}] = {value}",
+                watchpoint=wp, time=self.soc.sim.now))
+
+    # ------------------------------------------------------------------
+    # execution control
+    # ------------------------------------------------------------------
+    def run(self, max_events: int = 1_000_000,
+            until_time: Optional[float] = None) -> StopReason:
+        """Run until a stop condition, whole-system halt, or budget."""
+        self.soc.start()
+        for _ in range(max_events):
+            reason = self._check_stop_conditions()
+            if reason is not None:
+                return reason
+            if until_time is not None and self.soc.sim.now >= until_time:
+                return self._stopped(StopReason(
+                    "limit", f"time {until_time}", time=self.soc.sim.now))
+            if not self.soc.step():
+                return self._stopped(StopReason(
+                    "idle", "event queue empty", time=self.soc.sim.now))
+        return self._stopped(StopReason("limit", f"{max_events} events",
+                                        time=self.soc.sim.now))
+
+    def step_instruction(self, core_id: int,
+                         max_events: int = 100_000) -> StopReason:
+        """Advance until the given core retires exactly one instruction
+        ("the execution of the interrupt handling routines can be inspected
+        step by step on each core")."""
+        self.soc.start()
+        core = self.soc.cores[core_id]
+        target = core.instr_count + 1
+        for _ in range(max_events):
+            if not self.soc.step():
+                return self._stopped(StopReason("idle", "event queue empty",
+                                                time=self.soc.sim.now))
+            if core.instr_count >= target:
+                return self._stopped(StopReason(
+                    "step", f"core{core_id} at pc={core.pc}",
+                    time=self.soc.sim.now))
+        return self._stopped(StopReason("limit", "step budget",
+                                        time=self.soc.sim.now))
+
+    def _check_stop_conditions(self) -> Optional[StopReason]:
+        if self._pending:
+            reason = self._pending.pop(0)
+            self._pending.clear()
+            return self._stopped(reason)
+        for bp in self.breakpoints:
+            if not bp.enabled:
+                continue
+            core = self.soc.cores[bp.core_id]
+            if not core.halted and core.pc == bp.pc:
+                bp.hits += 1
+                bp.enabled = False  # one-shot arm; re-enable to reuse
+                return self._stopped(StopReason(
+                    "breakpoint", f"core{bp.core_id} at pc={bp.pc}",
+                    breakpoint=bp, time=self.soc.sim.now))
+        if self.soc.all_halted and self.soc.sim.pending == 0:
+            return self._stopped(StopReason("halted", "all cores halted",
+                                            time=self.soc.sim.now))
+        return None
+
+    def _stopped(self, reason: StopReason) -> StopReason:
+        self.stops.append(reason)
+        return reason
+
+    # ------------------------------------------------------------------
+    # consistent inspection (all side-effect free)
+    # ------------------------------------------------------------------
+    def core_states(self) -> List[CoreState]:
+        return [core.state() for core in self.soc.cores]
+
+    def read_memory(self, address: int, length: int = 1) -> List[int]:
+        return [self.soc.bus.peek(address + i) for i in range(length)]
+
+    def read_signal(self, name: str) -> Any:
+        return self.soc.signal(name).read()
+
+    def peripheral_registers(self) -> Dict[str, Dict[str, int]]:
+        """A consistent snapshot of every peripheral's registers."""
+        snapshot: Dict[str, Dict[str, int]] = {}
+        for index, timer in enumerate(self.soc.timers):
+            snapshot[f"timer{index}"] = {
+                "ctrl": timer.peek(0), "period": timer.peek(1),
+                "count": timer.peek(2), "status": timer.peek(3)}
+        snapshot["dma"] = {"src": self.soc.dma.peek(0),
+                           "dst": self.soc.dma.peek(1),
+                           "len": self.soc.dma.peek(2),
+                           "status": self.soc.dma.peek(4)}
+        snapshot["sem"] = {f"s{i}": self.soc.semaphores.peek(i)
+                           for i in range(self.soc.semaphores.count)}
+        for index, intc in enumerate(self.soc.intcs):
+            snapshot[f"intc{index}"] = {"pending": intc.peek(0),
+                                        "mask": intc.peek(1)}
+        return snapshot
+
+    def system_snapshot(self) -> Dict[str, Any]:
+        """Everything at once -- the paper's 'consistent visibility'."""
+        return {
+            "time": self.soc.sim.now,
+            "cores": [vars(state) for state in self.core_states()],
+            "peripherals": self.peripheral_registers(),
+            "signals": {name: sig.read()
+                        for name, sig in self.soc.signals().items()},
+        }
+
+
+__all__ = ["Breakpoint", "Debugger", "StopReason", "Watchpoint"]

@@ -1,0 +1,229 @@
+"""A tiny word-addressed RISC ISA and its assembler.
+
+The ISA is deliberately small but real enough that multi-core firmware
+with spinlocks, interrupt handlers and DMA programming can be written in
+it (the section-VII workloads are).  16 general registers ``r0``-``r15``
+(``r0`` is hardwired to zero, ``r14`` is the link register by convention,
+``r15`` the stack pointer); memory is word-addressed.
+
+Instructions
+------------
+ALU:      ``add sub mul div and or xor shl shr rd, ra, rb``
+          ``addi rd, ra, imm`` / ``li rd, imm`` / ``mov rd, ra``
+Compare:  ``slt sltu seq rd, ra, rb`` (set rd to 0/1)
+Memory:   ``lw rd, imm(ra)`` / ``sw rs, imm(ra)``
+          ``swap rd, imm(ra)`` -- atomic exchange (test-and-set substrate)
+Control:  ``beq bne blt bge ra, rb, label`` / ``jmp label``
+          ``jal label`` (link in r14) / ``jr ra`` / ``ret`` (= jr r14)
+Misc:     ``nop`` / ``halt`` / ``ei`` / ``di`` (interrupt enable/disable)
+          ``iret`` (return from interrupt)
+
+Directives: ``label:``, ``.word v [v ...]``, ``.org addr``, ``; comment``
+or ``# comment``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+REGISTER_COUNT = 16
+LINK_REGISTER = 14
+STACK_REGISTER = 15
+
+THREE_REG_OPS = {"add", "sub", "mul", "div", "and", "or", "xor", "shl",
+                 "shr", "slt", "sltu", "seq"}
+BRANCH_OPS = {"beq", "bne", "blt", "bge"}
+NO_ARG_OPS = {"nop", "halt", "ret", "ei", "di", "iret"}
+
+
+class AsmError(Exception):
+    """Raised on an assembly error, with the offending line."""
+
+    def __init__(self, message: str, line_no: int, line: str) -> None:
+        super().__init__(f"line {line_no}: {message}: {line.strip()!r}")
+        self.line_no = line_no
+
+
+@dataclass(frozen=True)
+class Instr:
+    """One decoded instruction."""
+
+    op: str
+    args: Tuple[Union[int, str], ...] = ()
+    source_line: int = 0
+
+    def __repr__(self) -> str:
+        rendered = ", ".join(str(a) for a in self.args)
+        return f"<{self.op} {rendered}>"
+
+
+@dataclass
+class AsmProgram:
+    """Assembled program: instruction memory plus initialized data words."""
+
+    instructions: List[Instr] = field(default_factory=list)
+    labels: Dict[str, int] = field(default_factory=dict)
+    data: Dict[int, int] = field(default_factory=dict)  # address -> word
+    source: str = ""
+
+    def label(self, name: str) -> int:
+        if name not in self.labels:
+            raise KeyError(f"unknown label {name!r}")
+        return self.labels[name]
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+
+def _parse_register(token: str, line_no: int, line: str) -> int:
+    token = token.strip().lower()
+    if not token.startswith("r"):
+        raise AsmError(f"expected register, got {token!r}", line_no, line)
+    try:
+        index = int(token[1:])
+    except ValueError:
+        raise AsmError(f"bad register {token!r}", line_no, line) from None
+    if not 0 <= index < REGISTER_COUNT:
+        raise AsmError(f"register out of range {token!r}", line_no, line)
+    return index
+
+
+def _parse_imm(token: str, line_no: int, line: str) -> Union[int, str]:
+    token = token.strip()
+    try:
+        return int(token, 0)
+    except ValueError:
+        if token and (token[0].isalpha() or token[0] == "_"):
+            return token  # label reference, resolved in pass 2
+        raise AsmError(f"bad immediate {token!r}", line_no, line) from None
+
+
+def _parse_mem_operand(token: str, line_no: int,
+                       line: str) -> Tuple[Union[int, str], int]:
+    """Parse ``imm(ra)`` or ``(ra)`` or bare ``imm``; returns (imm, reg)."""
+    token = token.strip()
+    if "(" in token:
+        if not token.endswith(")"):
+            raise AsmError("malformed memory operand", line_no, line)
+        imm_part, reg_part = token[:-1].split("(", 1)
+        imm = _parse_imm(imm_part, line_no, line) if imm_part.strip() else 0
+        reg = _parse_register(reg_part, line_no, line)
+        return imm, reg
+    return _parse_imm(token, line_no, line), 0
+
+
+def assemble(source: str) -> AsmProgram:
+    """Two-pass assembler: collect labels, then encode instructions."""
+    program = AsmProgram(source=source)
+    pending: List[Tuple[str, List[str], int, str]] = []
+    data_cursor: Optional[int] = None
+
+    for line_no, raw in enumerate(source.splitlines(), start=1):
+        line = raw.split(";")[0].split("#")[0].strip()
+        if not line:
+            continue
+        while ":" in line:
+            label, _, rest = line.partition(":")
+            label = label.strip()
+            if not label.isidentifier():
+                raise AsmError(f"bad label {label!r}", line_no, raw)
+            if label in program.labels:
+                raise AsmError(f"duplicate label {label!r}", line_no, raw)
+            if data_cursor is not None:
+                program.labels[label] = data_cursor
+            else:
+                program.labels[label] = len(pending)
+            line = rest.strip()
+        if not line:
+            continue
+        parts = line.split(None, 1)
+        op = parts[0].lower()
+        rest = parts[1] if len(parts) > 1 else ""
+        if op == ".org":
+            data_cursor = int(rest.strip(), 0)
+            continue
+        if op == ".word":
+            if data_cursor is None:
+                raise AsmError(".word before .org", line_no, raw)
+            for token in rest.replace(",", " ").split():
+                program.data[data_cursor] = int(token, 0)
+                data_cursor += 1
+            continue
+        if data_cursor is not None:
+            raise AsmError("instructions after .org data section",
+                           line_no, raw)
+        operands = [t.strip() for t in rest.split(",")] if rest else []
+        pending.append((op, operands, line_no, raw))
+
+    for op, operands, line_no, raw in pending:
+        program.instructions.append(
+            _encode(op, operands, line_no, raw, program))
+    return program
+
+
+def _encode(op: str, operands: List[str], line_no: int, raw: str,
+            program: AsmProgram) -> Instr:
+    def resolve(value: Union[int, str]) -> int:
+        if isinstance(value, str):
+            if value not in program.labels:
+                raise AsmError(f"undefined label {value!r}", line_no, raw)
+            return program.labels[value]
+        return value
+
+    if op in NO_ARG_OPS:
+        if operands:
+            raise AsmError(f"{op} takes no operands", line_no, raw)
+        return Instr(op, (), line_no)
+    if op in THREE_REG_OPS:
+        if len(operands) != 3:
+            raise AsmError(f"{op} needs 3 registers", line_no, raw)
+        regs = tuple(_parse_register(t, line_no, raw) for t in operands)
+        return Instr(op, regs, line_no)
+    if op == "addi":
+        if len(operands) != 3:
+            raise AsmError("addi needs rd, ra, imm", line_no, raw)
+        rd = _parse_register(operands[0], line_no, raw)
+        ra = _parse_register(operands[1], line_no, raw)
+        imm = resolve(_parse_imm(operands[2], line_no, raw))
+        return Instr("addi", (rd, ra, imm), line_no)
+    if op == "li":
+        if len(operands) != 2:
+            raise AsmError("li needs rd, imm", line_no, raw)
+        rd = _parse_register(operands[0], line_no, raw)
+        imm = resolve(_parse_imm(operands[1], line_no, raw))
+        return Instr("li", (rd, imm), line_no)
+    if op == "mov":
+        if len(operands) != 2:
+            raise AsmError("mov needs rd, ra", line_no, raw)
+        rd = _parse_register(operands[0], line_no, raw)
+        ra = _parse_register(operands[1], line_no, raw)
+        return Instr("mov", (rd, ra), line_no)
+    if op in ("lw", "sw", "swap"):
+        if len(operands) != 2:
+            raise AsmError(f"{op} needs reg, imm(reg)", line_no, raw)
+        reg = _parse_register(operands[0], line_no, raw)
+        imm, base = _parse_mem_operand(operands[1], line_no, raw)
+        return Instr(op, (reg, resolve(imm), base), line_no)
+    if op in BRANCH_OPS:
+        if len(operands) != 3:
+            raise AsmError(f"{op} needs ra, rb, label", line_no, raw)
+        ra = _parse_register(operands[0], line_no, raw)
+        rb = _parse_register(operands[1], line_no, raw)
+        target = resolve(_parse_imm(operands[2], line_no, raw))
+        return Instr(op, (ra, rb, target), line_no)
+    if op in ("jmp", "jal"):
+        if len(operands) != 1:
+            raise AsmError(f"{op} needs a target", line_no, raw)
+        target = resolve(_parse_imm(operands[0], line_no, raw))
+        return Instr(op, (target,), line_no)
+    if op == "jr":
+        if len(operands) != 1:
+            raise AsmError("jr needs a register", line_no, raw)
+        return Instr("jr", (_parse_register(operands[0], line_no, raw),),
+                     line_no)
+    raise AsmError(f"unknown mnemonic {op!r}", line_no, raw)
+
+
+__all__ = ["AsmError", "AsmProgram", "Instr", "LINK_REGISTER",
+           "REGISTER_COUNT", "STACK_REGISTER", "assemble"]

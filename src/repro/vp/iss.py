@@ -1,0 +1,215 @@
+"""The instruction-set simulator: one CPU core on the event kernel.
+
+Each core is a simulation process that consumes simulated cycles per
+instruction (ALU 1, branch 1, mul/div 3, memory 2).  Interrupts are
+level-sensitive: when the core's ``irq`` signal is high and interrupts are
+enabled, the core saves state and vectors to ``irq_vector``.
+
+The core exposes *stall hooks* used by the two debugger models: the
+non-intrusive VP debugger never stalls a core (it suspends the whole
+simulator between events instead), while the intrusive hardware-probe
+model injects per-core stalls -- the timing perturbation that creates
+Heisenbugs (section VII).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.desim import Delay, Signal, Simulator
+from repro.vp.bus import Bus
+from repro.vp.isa import AsmProgram, Instr, LINK_REGISTER, REGISTER_COUNT
+
+CYCLES = {"mul": 3, "div": 3, "lw": 2, "sw": 2, "swap": 2}
+DEFAULT_CYCLES = 1
+
+
+@dataclass
+class CoreState:
+    """Architectural state snapshot (what the debugger shows)."""
+
+    core_id: int
+    pc: int
+    regs: List[int]
+    halted: bool
+    interrupts_enabled: bool
+    in_isr: bool
+    cycle_count: int
+    instr_count: int
+
+
+class Cpu:
+    """One RISC core executing an :class:`AsmProgram`."""
+
+    def __init__(self, sim: Simulator, bus: Bus, program: AsmProgram,
+                 core_id: int = 0, irq_vector: Optional[int] = None,
+                 entry: int = 0) -> None:
+        self.sim = sim
+        self.bus = bus
+        self.program = program
+        self.core_id = core_id
+        self.name = f"core{core_id}"
+        self.pc = entry
+        self.regs = [0] * REGISTER_COUNT
+        self.halted = False
+        self.interrupts_enabled = False
+        self.in_isr = False
+        self.irq_vector = irq_vector
+        self.epc = 0
+        self.saved_regs: List[int] = []
+        self.cycle_count = 0
+        self.instr_count = 0
+        # Signals observable by the debugger (non-intrusively).
+        self.irq = Signal(f"{self.name}.irq", 0)
+        self.halted_signal = Signal(f"{self.name}.halted", 0)
+        self.pc_signal = Signal(f"{self.name}.pc", entry)
+        # Hook returning extra stall cycles before each instruction
+        # (installed by the intrusive hardware-probe model).
+        self.stall_hook: Optional[Callable[["Cpu"], float]] = None
+        # Hook called after each instruction (tracer).
+        self.post_instr_hook: Optional[Callable[["Cpu", Instr], None]] = None
+        self.process = None
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Spawn the core's execution process on the kernel."""
+        self.process = self.sim.spawn(self._run(), name=self.name)
+
+    def state(self) -> CoreState:
+        return CoreState(self.core_id, self.pc, list(self.regs), self.halted,
+                         self.interrupts_enabled, self.in_isr,
+                         self.cycle_count, self.instr_count)
+
+    def _read_reg(self, index: int) -> int:
+        return 0 if index == 0 else self.regs[index]
+
+    def _write_reg(self, index: int, value: int) -> None:
+        if index != 0:
+            self.regs[index] = int(value)
+
+    # ------------------------------------------------------------------
+    def _run(self):
+        while not self.halted:
+            # Interrupt entry check (level-sensitive).
+            if (self.interrupts_enabled and not self.in_isr
+                    and self.irq.read() and self.irq_vector is not None):
+                self.epc = self.pc
+                self.saved_regs = list(self.regs)
+                self.pc = self.irq_vector
+                self.in_isr = True
+            if not 0 <= self.pc < len(self.program.instructions):
+                raise RuntimeError(
+                    f"{self.name}: pc {self.pc} outside program "
+                    f"(len {len(self.program.instructions)})")
+            if self.stall_hook is not None:
+                stall = self.stall_hook(self)
+                if stall > 0:
+                    yield Delay(stall)
+            instr = self.program.instructions[self.pc]
+            cycles = CYCLES.get(instr.op, DEFAULT_CYCLES)
+            yield Delay(cycles)
+            self.cycle_count += cycles
+            self.instr_count += 1
+            self._execute(instr)
+            self.pc_signal.write(self.pc)
+            if self.post_instr_hook is not None:
+                self.post_instr_hook(self, instr)
+        self.halted_signal.write(1)
+
+    # ------------------------------------------------------------------
+    def _execute(self, instr: Instr) -> None:
+        op = instr.op
+        args = instr.args
+        next_pc = self.pc + 1
+        if op in ("add", "sub", "mul", "div", "and", "or", "xor",
+                  "shl", "shr", "slt", "sltu", "seq"):
+            rd, ra, rb = args
+            a, b = self._read_reg(ra), self._read_reg(rb)
+            if op == "add":
+                value = a + b
+            elif op == "sub":
+                value = a - b
+            elif op == "mul":
+                value = a * b
+            elif op == "div":
+                if b == 0:
+                    raise RuntimeError(f"{self.name}: division by zero "
+                                       f"at pc={self.pc}")
+                value = int(a / b) if (a < 0) != (b < 0) and a % b else a // b
+            elif op == "and":
+                value = a & b
+            elif op == "or":
+                value = a | b
+            elif op == "xor":
+                value = a ^ b
+            elif op == "shl":
+                value = a << b
+            elif op == "shr":
+                value = a >> b
+            elif op == "slt":
+                value = 1 if a < b else 0
+            elif op == "sltu":
+                value = 1 if abs(a) < abs(b) else 0
+            else:  # seq
+                value = 1 if a == b else 0
+            self._write_reg(rd, value)
+        elif op == "addi":
+            rd, ra, imm = args
+            self._write_reg(rd, self._read_reg(ra) + imm)
+        elif op == "li":
+            rd, imm = args
+            self._write_reg(rd, imm)
+        elif op == "mov":
+            rd, ra = args
+            self._write_reg(rd, self._read_reg(ra))
+        elif op == "lw":
+            rd, imm, base = args
+            address = self._read_reg(base) + imm
+            self._write_reg(rd, self.bus.read(address, master=self.name))
+        elif op == "sw":
+            rs, imm, base = args
+            address = self._read_reg(base) + imm
+            self.bus.write(address, self._read_reg(rs), master=self.name)
+        elif op == "swap":
+            rd, imm, base = args
+            address = self._read_reg(base) + imm
+            old = self.bus.read(address, master=self.name)
+            self.bus.write(address, self._read_reg(rd), master=self.name)
+            self._write_reg(rd, old)
+        elif op in ("beq", "bne", "blt", "bge"):
+            ra, rb, target = args
+            a, b = self._read_reg(ra), self._read_reg(rb)
+            taken = {"beq": a == b, "bne": a != b,
+                     "blt": a < b, "bge": a >= b}[op]
+            if taken:
+                next_pc = target
+        elif op == "jmp":
+            next_pc = args[0]
+        elif op == "jal":
+            self._write_reg(LINK_REGISTER, self.pc + 1)
+            next_pc = args[0]
+        elif op == "jr":
+            next_pc = self._read_reg(args[0])
+        elif op == "ret":
+            next_pc = self._read_reg(LINK_REGISTER)
+        elif op == "nop":
+            pass
+        elif op == "halt":
+            self.halted = True
+        elif op == "ei":
+            self.interrupts_enabled = True
+        elif op == "di":
+            self.interrupts_enabled = False
+        elif op == "iret":
+            if not self.in_isr:
+                raise RuntimeError(f"{self.name}: iret outside ISR")
+            self.regs = list(self.saved_regs)
+            next_pc = self.epc
+            self.in_isr = False
+        else:
+            raise RuntimeError(f"{self.name}: unknown op {op!r}")
+        self.pc = next_pc
+
+
+__all__ = ["CoreState", "Cpu", "CYCLES"]

@@ -1,0 +1,17 @@
+"""Peripheral models for the virtual platform.
+
+These are the "shared platform resources such as timers, interrupt
+controllers, DMAs, memory controllers, memories, semaphores" that section
+VII notes "may not be controlled anymore by [a] single software stack" --
+the root of many multi-core bugs the debugger must expose.
+"""
+
+from repro.vp.peripherals.timer import TimerDevice
+from repro.vp.peripherals.intc import InterruptController
+from repro.vp.peripherals.dma import DmaDevice
+from repro.vp.peripherals.semaphore import SemaphoreBank
+from repro.vp.peripherals.uart import Uart
+from repro.vp.peripherals.mailbox import MailboxBank, MailboxPort
+
+__all__ = ["DmaDevice", "InterruptController", "MailboxBank",
+           "MailboxPort", "SemaphoreBank", "TimerDevice", "Uart"]

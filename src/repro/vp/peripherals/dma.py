@@ -1,0 +1,104 @@
+"""DMA engine: a second bus master that can race the cores.
+
+Register map (word offsets):
+
+====  ======  ===========================================================
+0     SRC     source word address
+1     DST     destination word address
+2     LEN     word count
+3     CTRL    write 1 to start
+4     STATUS  bit0 busy, bit1 done; write clears done (deasserts irq)
+====  ======  ===========================================================
+
+The transfer copies one word every ``cycles_per_word`` cycles as a bus
+master named ``"dma"`` -- so peripheral-access watchpoints can trigger on
+"a specific core *or DMA* writing to a shared resource" exactly as the
+paper describes, and an ill-programmed DMA window genuinely corrupts
+memory another core is using (the E12 illegal-access workload).
+"""
+
+from __future__ import annotations
+
+
+from repro.desim import Delay, Signal, Simulator
+from repro.vp.bus import Bus
+
+SRC, DST, LEN, CTRL, STATUS = 0, 1, 2, 3, 4
+
+
+class DmaDevice:
+    """Single-channel DMA engine."""
+
+    REG_COUNT = 5
+
+    def __init__(self, sim: Simulator, bus: Bus, name: str = "dma",
+                 cycles_per_word: int = 2) -> None:
+        self.sim = sim
+        self.bus = bus
+        self.name = name
+        self.cycles_per_word = cycles_per_word
+        self.src = 0
+        self.dst = 0
+        self.length = 0
+        self.busy = False
+        self.done = False
+        self.irq = Signal(f"{name}.irq", 0)
+        self.transfers_completed = 0
+        self.words_moved = 0
+
+    # -- device interface ----------------------------------------------------
+    def read(self, offset: int) -> int:
+        if offset == SRC:
+            return self.src
+        if offset == DST:
+            return self.dst
+        if offset == LEN:
+            return self.length
+        if offset == CTRL:
+            return 0
+        if offset == STATUS:
+            return (1 if self.busy else 0) | (2 if self.done else 0)
+        raise IndexError(f"{self.name}: bad register {offset}")
+
+    def peek(self, offset: int) -> int:
+        return self.read(offset)
+
+    def write(self, offset: int, value: int) -> None:
+        if offset == SRC:
+            self.src = int(value)
+        elif offset == DST:
+            self.dst = int(value)
+        elif offset == LEN:
+            self.length = int(value)
+        elif offset == CTRL:
+            if value & 1:
+                self.start()
+        elif offset == STATUS:
+            self.done = False
+            self.irq.write(0)
+        else:
+            raise IndexError(f"{self.name}: bad register {offset}")
+
+    # -- behaviour -------------------------------------------------------------
+    def start(self) -> None:
+        if self.busy:
+            raise RuntimeError(f"{self.name}: start while busy")
+        if self.length <= 0:
+            return
+        self.busy = True
+        self.sim.spawn(self._transfer(), name=f"{self.name}.xfer")
+
+    def _transfer(self):
+        src, dst, length = self.src, self.dst, self.length
+        for index in range(length):
+            yield Delay(self.cycles_per_word)
+            word = self.bus.read(src + index, master=self.name)
+            self.bus.write(dst + index, word, master=self.name)
+            self.words_moved += 1
+        self.busy = False
+        self.done = True
+        self.transfers_completed += 1
+        self.irq.write(1)
+
+
+__all__ = ["CTRL", "DST", "DmaDevice", "LEN", "SRC", "STATUS"]

@@ -1,0 +1,84 @@
+"""Interrupt controller: latches source edges, masks, drives one core.
+
+Register map (word offsets):
+
+====  =======  =========================================================
+0     PENDING  (read-only) latched source bits
+1     MASK     bit n enables source n
+2     ACK      write a bitmask to clear those pending bits
+====  =======  =========================================================
+
+The output line to the core is level: asserted while
+``pending & mask != 0``.  A classic multi-core bug the paper mentions --
+"the peripheral interrupt may not be recognizable by the developer, as it
+may be wrongly masked" -- is directly observable here: PENDING is set but
+MASK gates it, and only a debugger with register visibility sees why.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.desim import Signal, Simulator
+
+PENDING, MASK, ACK = 0, 1, 2
+
+
+class InterruptController:
+    """Aggregates source signals into one core-facing irq line."""
+
+    REG_COUNT = 3
+
+    def __init__(self, sim: Simulator, out: Signal,
+                 name: str = "intc") -> None:
+        self.sim = sim
+        self.name = name
+        self.out = out
+        self.pending = 0
+        self.mask = 0
+        self._sources: Dict[int, Signal] = {}
+
+    def add_source(self, line: int, signal: Signal) -> None:
+        """Latch ``signal``'s rising edges into pending bit ``line``."""
+        if line in self._sources:
+            raise ValueError(f"{self.name}: line {line} already connected")
+        self._sources[line] = signal
+
+        def on_edge(_payload) -> None:
+            self.pending |= (1 << line)
+            self._update()
+
+        signal.posedge.subscribe(on_edge)
+        if signal.read():
+            self.pending |= (1 << line)
+            self._update()
+
+    # -- device interface --------------------------------------------------
+    def read(self, offset: int) -> int:
+        if offset == PENDING:
+            return self.pending
+        if offset == MASK:
+            return self.mask
+        if offset == ACK:
+            return 0
+        raise IndexError(f"{self.name}: bad register {offset}")
+
+    def peek(self, offset: int) -> int:
+        return self.read(offset)
+
+    def write(self, offset: int, value: int) -> None:
+        if offset == MASK:
+            self.mask = int(value)
+        elif offset == ACK:
+            self.pending &= ~int(value)
+        elif offset == PENDING:
+            pass  # read-only
+        else:
+            raise IndexError(f"{self.name}: bad register {offset}")
+        self._update()
+
+    def _update(self) -> None:
+        self.out.write(1 if (self.pending & self.mask) else 0)
+
+
+__all__ = ["ACK", "InterruptController", "MASK", "PENDING"]

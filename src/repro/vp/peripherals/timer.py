@@ -1,0 +1,108 @@
+"""Programmable interval timer.
+
+Register map (word offsets):
+
+====  ======  ==========================================================
+0     CTRL    bit0 enable, bit1 auto-reload
+1     PERIOD  cycles between expirations
+2     COUNT   (read-only) cycles until next expiration
+3     STATUS  bit0 expired; write any value to clear (deasserts irq)
+====  ======  ==========================================================
+
+The ``irq`` output is a level signal: asserted on expiration, deasserted
+when STATUS is cleared.  The section-VII debugging story leans on this:
+"a watchpoint can be set on a signal, such as the interrupt line of a
+peripheral".
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.desim import Signal, Simulator
+
+CTRL, PERIOD, COUNT, STATUS = 0, 1, 2, 3
+
+
+class TimerDevice:
+    """One programmable timer mapped on the bus."""
+
+    REG_COUNT = 4
+
+    def __init__(self, sim: Simulator, name: str = "timer") -> None:
+        self.sim = sim
+        self.name = name
+        self.irq = Signal(f"{name}.irq", 0)
+        self.enabled = False
+        self.auto_reload = False
+        self.period = 0
+        self.expired = False
+        self.expirations = 0
+        self._armed_item = None
+        self._deadline: Optional[float] = None
+
+    # -- device interface -------------------------------------------------
+    def read(self, offset: int) -> int:
+        if offset == CTRL:
+            return (1 if self.enabled else 0) | (2 if self.auto_reload else 0)
+        if offset == PERIOD:
+            return self.period
+        if offset == COUNT:
+            if self._deadline is None:
+                return 0
+            return max(0, int(self._deadline - self.sim.now))
+        if offset == STATUS:
+            return 1 if self.expired else 0
+        raise IndexError(f"{self.name}: bad register {offset}")
+
+    def peek(self, offset: int) -> int:
+        return self.read(offset)
+
+    def write(self, offset: int, value: int) -> None:
+        if offset == CTRL:
+            self.auto_reload = bool(value & 2)
+            enable = bool(value & 1)
+            if enable and not self.enabled:
+                self.enabled = True
+                self._arm()
+            elif not enable:
+                self.enabled = False
+                self._disarm()
+        elif offset == PERIOD:
+            self.period = int(value)
+        elif offset == STATUS:
+            self.expired = False
+            self.irq.write(0)
+        elif offset == COUNT:
+            pass  # read-only
+        else:
+            raise IndexError(f"{self.name}: bad register {offset}")
+
+    # -- behaviour ----------------------------------------------------------
+    def _arm(self) -> None:
+        if self.period <= 0:
+            return
+        self._deadline = self.sim.now + self.period
+        self._armed_item = self.sim.at(self._deadline, self._expire)
+
+    def _disarm(self) -> None:
+        if self._armed_item is not None:
+            self.sim.cancel(self._armed_item)
+            self._armed_item = None
+        self._deadline = None
+
+    def _expire(self) -> None:
+        self._armed_item = None
+        if not self.enabled:
+            return
+        self.expired = True
+        self.expirations += 1
+        self.irq.write(1)
+        if self.auto_reload:
+            self._arm()
+        else:
+            self.enabled = False
+            self._deadline = None
+
+
+__all__ = ["TimerDevice", "CTRL", "PERIOD", "COUNT", "STATUS"]

@@ -1,0 +1,49 @@
+"""UART: the firmware's console output.
+
+Register map: offset 0 = TX (write a word; low 8 bits appended as a
+character, or the raw word if ``raw`` mode), offset 1 = STATUS (always
+ready).  Output accumulates in :attr:`output` / :attr:`words` for test
+assertions.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+TX, STATUS = 0, 1
+
+
+class Uart:
+    """Write-only console device."""
+
+    REG_COUNT = 2
+
+    def __init__(self, name: str = "uart", raw: bool = True) -> None:
+        self.name = name
+        self.raw = raw
+        self.words: List[int] = []
+
+    @property
+    def output(self) -> str:
+        return "".join(chr(w & 0xFF) for w in self.words)
+
+    def read(self, offset: int) -> int:
+        if offset == STATUS:
+            return 1
+        if offset == TX:
+            return 0
+        raise IndexError(f"{self.name}: bad register {offset}")
+
+    def peek(self, offset: int) -> int:
+        return self.read(offset)
+
+    def write(self, offset: int, value: int) -> None:
+        if offset == TX:
+            self.words.append(int(value))
+        elif offset == STATUS:
+            pass
+        else:
+            raise IndexError(f"{self.name}: bad register {offset}")
+
+
+__all__ = ["STATUS", "TX", "Uart"]

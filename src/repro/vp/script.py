@@ -1,0 +1,222 @@
+"""Scriptable debug framework (section VII).
+
+"CoWare Virtual Platforms provide a scriptable debug framework.  Using a
+TCL based scripting language, the control and inspection of hardware and
+software can be automated.  This scripting capability allows implementing
+system level software assertions, without changing the software code."
+
+The TCL stand-in is a small line-oriented command language::
+
+    break 0 12                      ; breakpoint: core 0, pc 12
+    watch write 0x64                ; bus watchpoint
+    watch write 0x64 master=dma     ; only when the DMA writes
+    watch signal timer0.irq posedge ; signal watchpoint
+    assert mem(100) <= 20 :: counter must never exceed 20
+    run 100000                      ; run with assertions checked each event
+    print mem(100)
+
+Assertion expressions may use ``mem(addr)``, ``reg(core, n)``,
+``pc(core)``, ``sig(name)``, ``sem(i)``, ``halted(core)``, ``time()`` and
+ordinary arithmetic/comparison operators.  Assertions are evaluated after
+**every kernel event** while ``run`` executes -- they see the whole-system
+state, and they never cost simulated time, so the asserted software runs
+bit-identically with or without them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.vp.debugger import Debugger, StopReason
+from repro.vp.soc import SoC
+
+
+class ScriptError(Exception):
+    """Raised on a malformed script command."""
+
+
+@dataclass
+class AssertionViolation:
+    """One observed system-level assertion failure."""
+
+    time: float
+    expression: str
+    message: str
+    snapshot: Dict[str, Any] = field(default_factory=dict)
+
+    def __repr__(self) -> str:
+        return f"VIOLATION @{self.time}: {self.message} ({self.expression})"
+
+
+@dataclass
+class _Assertion:
+    expression: str
+    message: str
+    compiled: Any
+    stop_on_failure: bool = False
+    violations: int = 0
+
+
+class DebugScriptEngine:
+    """Executes debug scripts against a SoC through the VP debugger."""
+
+    def __init__(self, soc: SoC, debugger: Optional[Debugger] = None) -> None:
+        self.soc = soc
+        self.debugger = debugger or Debugger(soc)
+        self.assertions: List[_Assertion] = []
+        self.violations: List[AssertionViolation] = []
+        self.printed: List[str] = []
+        self.last_stop: Optional[StopReason] = None
+
+    # ------------------------------------------------------------------
+    # expression evaluation
+    # ------------------------------------------------------------------
+    def _namespace(self) -> Dict[str, Any]:
+        soc = self.soc
+        return {
+            "__builtins__": {},
+            "mem": lambda addr: soc.bus.peek(int(addr)),
+            "reg": lambda core, n: soc.cores[int(core)].regs[int(n)],
+            "pc": lambda core: soc.cores[int(core)].pc,
+            "sig": lambda name: soc.signal(name).read(),
+            "sem": lambda i: soc.semaphores.peek(int(i)),
+            "halted": lambda core: int(soc.cores[int(core)].halted),
+            "time": lambda: soc.sim.now,
+            "abs": abs, "min": min, "max": max,
+        }
+
+    def eval(self, expression: str) -> Any:
+        """Evaluate a debug expression against current (suspended) state."""
+        try:
+            return eval(compile(expression, "<debug-script>", "eval"),
+                        self._namespace())
+        except Exception as error:  # noqa: BLE001 - surfaced with context
+            raise ScriptError(
+                f"cannot evaluate {expression!r}: {error}") from error
+
+    # ------------------------------------------------------------------
+    # command execution
+    # ------------------------------------------------------------------
+    def execute(self, script: str) -> None:
+        """Execute a whole script (one command per line)."""
+        for line_no, raw in enumerate(script.splitlines(), start=1):
+            line = raw.split(";")[0].strip()
+            if not line:
+                continue
+            try:
+                self.command(line)
+            except ScriptError as error:
+                raise ScriptError(f"line {line_no}: {error}") from error
+
+    def command(self, line: str) -> Any:
+        parts = line.split()
+        verb = parts[0].lower()
+        if verb == "break":
+            if len(parts) != 3:
+                raise ScriptError("usage: break <core> <pc>")
+            return self.debugger.add_breakpoint(int(parts[1], 0),
+                                                int(parts[2], 0))
+        if verb == "watch":
+            return self._cmd_watch(parts[1:])
+        if verb == "assert":
+            return self._cmd_assert(line[len("assert"):].strip(),
+                                    stop_on_failure=False)
+        if verb == "expect":
+            # Like assert but stops the run at the first violation.
+            return self._cmd_assert(line[len("expect"):].strip(),
+                                    stop_on_failure=True)
+        if verb == "run":
+            budget = int(parts[1], 0) if len(parts) > 1 else 1_000_000
+            return self.run(max_events=budget)
+        if verb == "step":
+            if len(parts) != 2:
+                raise ScriptError("usage: step <core>")
+            return self.debugger.step_instruction(int(parts[1], 0))
+        if verb == "print":
+            value = self.eval(line[len("print"):].strip())
+            self.printed.append(f"{line[len('print'):].strip()} = {value}")
+            return value
+        raise ScriptError(f"unknown command {verb!r}")
+
+    def _cmd_watch(self, args: List[str]):
+        if not args:
+            raise ScriptError("usage: watch <write|read|access|signal> ...")
+        kind = args[0].lower()
+        if kind == "signal":
+            if len(args) < 2:
+                raise ScriptError("usage: watch signal <name> [edge]")
+            edge = args[2] if len(args) > 2 else "change"
+            return self.debugger.add_signal_watchpoint(args[1], edge)
+        if kind in ("write", "read", "access"):
+            if len(args) < 2:
+                raise ScriptError(f"usage: watch {kind} <addr> [master=<m>]")
+            master = None
+            for extra in args[2:]:
+                if extra.startswith("master="):
+                    master = extra.split("=", 1)[1]
+                else:
+                    raise ScriptError(f"unknown option {extra!r}")
+            return self.debugger.add_watchpoint(kind, int(args[1], 0),
+                                                master=master)
+        raise ScriptError(f"unknown watch kind {kind!r}")
+
+    def _cmd_assert(self, rest: str, stop_on_failure: bool) -> _Assertion:
+        if "::" in rest:
+            expression, message = (part.strip()
+                                   for part in rest.split("::", 1))
+        else:
+            expression, message = rest.strip(), rest.strip()
+        if not expression:
+            raise ScriptError("empty assertion")
+        try:
+            compiled = compile(expression, "<assertion>", "eval")
+        except SyntaxError as error:
+            raise ScriptError(f"bad assertion {expression!r}: {error}") \
+                from error
+        assertion = _Assertion(expression, message, compiled,
+                               stop_on_failure)
+        self.assertions.append(assertion)
+        return assertion
+
+    # ------------------------------------------------------------------
+    # run loop with per-event assertion checking
+    # ------------------------------------------------------------------
+    def run(self, max_events: int = 1_000_000) -> StopReason:
+        self.soc.start()
+        for _ in range(max_events):
+            reason = self.debugger._check_stop_conditions()
+            if reason is not None:
+                self.last_stop = reason
+                return reason
+            if not self.soc.step():
+                self.last_stop = StopReason("idle", "event queue empty",
+                                            time=self.soc.sim.now)
+                return self.last_stop
+            stop = self._check_assertions()
+            if stop is not None:
+                self.last_stop = stop
+                return stop
+        self.last_stop = StopReason("limit", f"{max_events} events",
+                                    time=self.soc.sim.now)
+        return self.last_stop
+
+    def _check_assertions(self) -> Optional[StopReason]:
+        namespace = self._namespace()
+        for assertion in self.assertions:
+            try:
+                ok = eval(assertion.compiled, dict(namespace))
+            except Exception:  # noqa: BLE001 - a failing probe is a violation
+                ok = False
+            if not ok:
+                assertion.violations += 1
+                violation = AssertionViolation(
+                    self.soc.sim.now, assertion.expression, assertion.message)
+                self.violations.append(violation)
+                if assertion.stop_on_failure:
+                    return StopReason("assertion", assertion.message,
+                                      time=self.soc.sim.now)
+        return None
+
+
+__all__ = ["AssertionViolation", "DebugScriptEngine", "ScriptError"]

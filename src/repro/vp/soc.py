@@ -1,0 +1,169 @@
+"""SoC builder: wires cores, RAM and peripherals into one platform.
+
+Memory map (word addresses)::
+
+    0x0000 .. RAM (shared)
+    0x8000    semaphore bank (16 semaphores)
+    0x8100    timer0   (4 regs)   0x8110 timer1 ...
+    0x8200    DMA      (5 regs)
+    0x8300    UART     (2 regs)
+    0x8400    INTC for core0 (3 regs), 0x8410 core1 ...
+    0x8500    mailbox port for core0 (5 regs), 0x8510 core1 ...
+
+Symbolic constants for firmware: :data:`SEM_BASE`, :data:`TIMER_BASE`,
+:data:`DMA_BASE`, :data:`UART_BASE`, :data:`INTC_BASE`, :data:`MBOX_BASE`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Union
+
+from repro.desim import Signal, Simulator
+from repro.vp.bus import Bus, Ram
+from repro.vp.isa import AsmProgram, assemble
+from repro.vp.iss import Cpu
+from repro.vp.peripherals.dma import DmaDevice
+from repro.vp.peripherals.intc import InterruptController
+from repro.vp.peripherals.mailbox import MailboxBank, MailboxPort
+from repro.vp.peripherals.semaphore import SemaphoreBank
+from repro.vp.peripherals.timer import TimerDevice
+from repro.vp.peripherals.uart import Uart
+
+SEM_BASE = 0x8000
+TIMER_BASE = 0x8100
+TIMER_STRIDE = 0x10
+DMA_BASE = 0x8200
+UART_BASE = 0x8300
+INTC_BASE = 0x8400
+INTC_STRIDE = 0x10
+MBOX_BASE = 0x8500
+MBOX_STRIDE = 0x10
+
+IRQ_VECTOR = 1000  # default irq handler address inside each core's program
+
+
+@dataclass
+class SoCConfig:
+    """Build parameters for a :class:`SoC`."""
+
+    n_cores: int = 2
+    ram_words: int = 4096
+    n_timers: int = 2
+    n_semaphores: int = 16
+    irq_vector: Optional[int] = None  # per-core ISR entry (instruction index)
+
+
+class SoC:
+    """A complete simulated platform.
+
+    ``programs`` maps core index to assembly source or a pre-assembled
+    :class:`AsmProgram`; all cores share the RAM and peripherals.
+    """
+
+    def __init__(self, config: SoCConfig,
+                 programs: Dict[int, Union[str, AsmProgram]],
+                 sim: Optional[Simulator] = None) -> None:
+        self.config = config
+        self.sim = sim or Simulator()
+        self.bus = Bus("soc.bus")
+        self.ram = Ram(config.ram_words)
+        self.bus.attach(0, config.ram_words, self.ram, "ram")
+
+        self.semaphores = SemaphoreBank(config.n_semaphores)
+        self.bus.attach(SEM_BASE, config.n_semaphores, self.semaphores, "sem")
+
+        self.timers: List[TimerDevice] = []
+        for index in range(config.n_timers):
+            timer = TimerDevice(self.sim, f"timer{index}")
+            self.timers.append(timer)
+            self.bus.attach(TIMER_BASE + index * TIMER_STRIDE,
+                            TimerDevice.REG_COUNT, timer, timer.name)
+
+        self.dma = DmaDevice(self.sim, self.bus)
+        self.bus.attach(DMA_BASE, DmaDevice.REG_COUNT, self.dma, "dma")
+
+        self.uart = Uart()
+        self.bus.attach(UART_BASE, Uart.REG_COUNT, self.uart, "uart")
+
+        self.mailboxes = MailboxBank(config.n_cores)
+        for core_id in range(config.n_cores):
+            self.bus.attach(MBOX_BASE + core_id * MBOX_STRIDE,
+                            MailboxPort.REG_COUNT,
+                            MailboxPort(self.mailboxes, core_id),
+                            f"mbox{core_id}")
+
+        self.cores: List[Cpu] = []
+        self.intcs: List[InterruptController] = []
+        for core_id in range(config.n_cores):
+            source = programs.get(core_id)
+            if source is None:
+                source = "halt\n"
+            program = source if isinstance(source, AsmProgram) \
+                else assemble(source)
+            cpu = Cpu(self.sim, self.bus, program, core_id=core_id,
+                      irq_vector=config.irq_vector)
+            self.cores.append(cpu)
+            intc = InterruptController(self.sim, cpu.irq, f"intc{core_id}")
+            self.intcs.append(intc)
+            self.bus.attach(INTC_BASE + core_id * INTC_STRIDE,
+                            InterruptController.REG_COUNT, intc, intc.name)
+            # Load the program's data section into RAM.
+            self.ram.load(0, program.data)
+
+        self._started = False
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        for cpu in self.cores:
+            cpu.start()
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> float:
+        """Run the platform (starting the cores on first call)."""
+        self.start()
+        return self.sim.run(until=until, max_events=max_events)
+
+    def step(self) -> bool:
+        """Advance by exactly one kernel event (whole-system synchronous
+        granularity -- the debugger's suspension point)."""
+        self.start()
+        return self.sim.step()
+
+    @property
+    def all_halted(self) -> bool:
+        return all(core.halted for core in self.cores)
+
+    # ------------------------------------------------------------------
+    def signals(self) -> Dict[str, Signal]:
+        """Every observable signal in the platform, by name."""
+        table: Dict[str, Signal] = {}
+        for cpu in self.cores:
+            table[cpu.irq.name] = cpu.irq
+            table[cpu.halted_signal.name] = cpu.halted_signal
+            table[cpu.pc_signal.name] = cpu.pc_signal
+        for timer in self.timers:
+            table[timer.irq.name] = timer.irq
+        table[self.dma.irq.name] = self.dma.irq
+        for doorbell in self.mailboxes.doorbells:
+            table[doorbell.name] = doorbell
+        return table
+
+    def signal(self, name: str) -> Signal:
+        table = self.signals()
+        if name not in table:
+            raise KeyError(f"no signal {name!r}; available: "
+                           f"{sorted(table)}")
+        return table[name]
+
+    def mem(self, address: int) -> int:
+        """Debugger-style non-intrusive memory read."""
+        return self.bus.peek(address)
+
+
+__all__ = ["DMA_BASE", "INTC_BASE", "INTC_STRIDE", "IRQ_VECTOR",
+           "MBOX_BASE", "MBOX_STRIDE", "SEM_BASE",
+           "SoC", "SoCConfig", "TIMER_BASE", "TIMER_STRIDE", "UART_BASE"]

@@ -1,0 +1,118 @@
+"""Hardware/software tracing (section VII).
+
+"A history of function execution within the different processes, and their
+access to memories and peripherals, is of great help to understand and
+identify the cause of a defect."
+
+The tracer records, without perturbing the platform:
+
+- instruction retirement per core (optional, verbose);
+- function call/return history (``jal``/``ret`` detection);
+- every bus access with its master;
+- interrupt-line edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.vp.isa import Instr
+from repro.vp.iss import Cpu
+from repro.vp.soc import SoC
+
+
+@dataclass
+class TraceEvent:
+    """One recorded event."""
+
+    time: float
+    kind: str  # 'instr' | 'call' | 'ret' | 'mem' | 'irq'
+    core: Optional[int] = None
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def __repr__(self) -> str:
+        who = f"core{self.core}" if self.core is not None else "-"
+        return f"[{self.time:>8}] {who:>6} {self.kind:<6} {self.detail}"
+
+
+class Tracer:
+    """Non-intrusive event recorder over one SoC."""
+
+    def __init__(self, soc: SoC, trace_instructions: bool = False,
+                 trace_memory: bool = True) -> None:
+        self.soc = soc
+        self.trace_instructions = trace_instructions
+        self.events: List[TraceEvent] = []
+        self.call_depth: Dict[int, int] = {c.core_id: 0 for c in soc.cores}
+        for core in soc.cores:
+            core.post_instr_hook = self._make_instr_hook()
+        if trace_memory:
+            soc.bus.observe(self._on_bus)
+        for name, signal in soc.signals().items():
+            if name.endswith(".irq"):
+                signal.changed.subscribe(self._make_irq_hook(name))
+
+    def _make_instr_hook(self):
+        def hook(core: Cpu, instr: Instr) -> None:
+            if instr.op == "jal":
+                self.call_depth[core.core_id] += 1
+                self.events.append(TraceEvent(
+                    self.soc.sim.now, "call", core.core_id,
+                    {"target": instr.args[0],
+                     "depth": self.call_depth[core.core_id]}))
+            elif instr.op == "ret":
+                self.events.append(TraceEvent(
+                    self.soc.sim.now, "ret", core.core_id,
+                    {"depth": self.call_depth[core.core_id]}))
+                self.call_depth[core.core_id] = max(
+                    0, self.call_depth[core.core_id] - 1)
+            elif self.trace_instructions:
+                self.events.append(TraceEvent(
+                    self.soc.sim.now, "instr", core.core_id,
+                    {"op": instr.op, "pc": core.pc}))
+        return hook
+
+    def _on_bus(self, kind: str, address: int, value: int,
+                master: str) -> None:
+        self.events.append(TraceEvent(
+            self.soc.sim.now, "mem", None,
+            {"op": kind, "addr": address, "value": value,
+             "master": master,
+             "region": self.soc.bus.region_of(address)}))
+
+    def _make_irq_hook(self, name: str):
+        def hook(payload: Any) -> None:
+            old, new = payload
+            self.events.append(TraceEvent(
+                self.soc.sim.now, "irq", None,
+                {"signal": name, "old": old, "new": new}))
+        return hook
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def of_kind(self, kind: str) -> List[TraceEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def accesses_to(self, address: int, kind: Optional[str] = None) -> List[TraceEvent]:
+        return [e for e in self.events
+                if e.kind == "mem" and e.detail["addr"] == address
+                and (kind is None or e.detail["op"] == kind)]
+
+    def by_master(self, master: str) -> List[TraceEvent]:
+        return [e for e in self.events
+                if e.kind == "mem" and e.detail["master"] == master]
+
+    def call_history(self, core_id: int) -> List[TraceEvent]:
+        return [e for e in self.events
+                if e.kind in ("call", "ret") and e.core == core_id]
+
+    def interleaving_signature(self, address: int) -> str:
+        """Order of masters touching an address -- a compact fingerprint of
+        the schedule used by the determinism tests."""
+        return ",".join(e.detail["master"]
+                        for e in self.accesses_to(address))
+
+
+__all__ = ["TraceEvent", "Tracer"]

@@ -1,0 +1,135 @@
+"""Tests for MAPS source annotations ("lightweight C extensions") and the
+section-II prefetching strategy model."""
+
+import pytest
+
+from repro.manycore.memory import LocalityModel, PrefetchPlan
+from repro.maps import PEClass, RTClass
+from repro.maps.annotations import (
+    AnnotationError, annotated_application, parse_annotations,
+)
+
+ANNOTATED = """
+// @maps period=600 latency=550 pe=dsp class=hard priority=3
+int main() {
+  int i; int s = 0;
+  for (i = 0; i < 16; i++) { s += i; }
+  return s;
+}
+
+// @maps class=best_effort priority=20
+int helper() { return 1; }
+"""
+
+
+class TestAnnotations:
+    def test_full_annotation_parsed(self):
+        annotations = parse_annotations(ANNOTATED)
+        main = annotations["main"]
+        assert main.period == 600.0
+        assert main.latency == 550.0
+        assert main.preferred_pe == PEClass.DSP
+        assert main.rt_class == RTClass.HARD
+        assert main.priority == 3
+        assert annotations["helper"].priority == 20
+
+    def test_unannotated_functions_absent(self):
+        annotations = parse_annotations(
+            "int plain() { return 0; }\n// @maps priority=1\nint x() "
+            "{ return 1; }")
+        assert "plain" not in annotations
+        assert "x" in annotations
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(AnnotationError, match="unknown annotation key"):
+            parse_annotations("// @maps banana=1\nint f() { return 0; }")
+
+    def test_duplicate_key_rejected(self):
+        with pytest.raises(AnnotationError, match="duplicate"):
+            parse_annotations(
+                "// @maps period=1 period=2\nint f() { return 0; }")
+
+    def test_bad_value_rejected(self):
+        with pytest.raises(AnnotationError, match="bad value"):
+            parse_annotations("// @maps pe=quantum\nint f() { return 0; }")
+
+    def test_dangling_annotation_rejected(self):
+        with pytest.raises(AnnotationError, match="not followed"):
+            parse_annotations("// @maps priority=1\n")
+
+    def test_unparseable_tail_rejected(self):
+        with pytest.raises(AnnotationError, match="unparseable"):
+            parse_annotations("// @maps priority=1 ???\nint f() "
+                              "{ return 0; }")
+
+    def test_annotated_application(self):
+        app = annotated_application("radio", ANNOTATED)
+        assert app.rt_class == RTClass.HARD
+        assert app.period == 600.0
+        assert app.preferred_pe == PEClass.DSP
+        assert app.program.has_function("main")
+
+    def test_annotated_application_defaults(self):
+        app = annotated_application("plain", "int main() { return 0; }")
+        assert app.rt_class == RTClass.BEST_EFFORT
+        assert app.period is None
+
+    def test_hard_without_period_rejected(self):
+        source = "// @maps class=hard\nint main() { return 0; }"
+        with pytest.raises(ValueError, match="period"):
+            annotated_application("x", source)
+
+
+class TestPrefetch:
+    MODEL = LocalityModel()
+
+    def test_prefetch_never_slower(self):
+        plan = PrefetchPlan(blocks=20, block_words=64,
+                            compute_per_block=50.0, hops=3, helpers=1)
+        assert plan.time_with_prefetch(self.MODEL) <= \
+            plan.time_without_prefetch(self.MODEL)
+
+    def test_compute_bound_hides_transfers_fully(self):
+        # compute >> transfer: steady-state = compute only.
+        plan = PrefetchPlan(blocks=50, block_words=16,
+                            compute_per_block=500.0, hops=2, helpers=1)
+        expected = plan.transfer_time(self.MODEL) + 500.0 + 49 * 500.0
+        assert plan.time_with_prefetch(self.MODEL) == pytest.approx(expected)
+
+    def test_transfer_bound_needs_more_helpers(self):
+        plan1 = PrefetchPlan(blocks=50, block_words=512,
+                             compute_per_block=50.0, hops=4, helpers=1)
+        plan4 = PrefetchPlan(blocks=50, block_words=512,
+                             compute_per_block=50.0, hops=4, helpers=4)
+        assert plan4.time_with_prefetch(self.MODEL) < \
+            plan1.time_with_prefetch(self.MODEL)
+
+    def test_helpers_to_hide(self):
+        plan = PrefetchPlan(blocks=10, block_words=512,
+                            compute_per_block=50.0, hops=4)
+        needed = plan.helpers_to_hide_transfers(self.MODEL)
+        hidden = PrefetchPlan(blocks=10, block_words=512,
+                              compute_per_block=50.0, hops=4,
+                              helpers=needed)
+        transfer = hidden.transfer_time(self.MODEL)
+        # With `needed` helpers, steady-state per block == compute.
+        assert transfer / needed <= 50.0 + 1e-9
+
+    def test_zero_helpers_degenerates(self):
+        plan = PrefetchPlan(blocks=5, block_words=64,
+                            compute_per_block=10.0, hops=1, helpers=0)
+        assert plan.time_with_prefetch(self.MODEL) == \
+            plan.time_without_prefetch(self.MODEL)
+        assert plan.speedup(self.MODEL) == pytest.approx(1.0)
+
+    def test_speedup_grows_with_transfer_share(self):
+        light = PrefetchPlan(blocks=30, block_words=16,
+                             compute_per_block=100.0, hops=2, helpers=2)
+        heavy = PrefetchPlan(blocks=30, block_words=256,
+                             compute_per_block=100.0, hops=2, helpers=2)
+        assert heavy.speedup(self.MODEL) > light.speedup(self.MODEL)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PrefetchPlan(blocks=0, block_words=1, compute_per_block=1,
+                         hops=1)

@@ -1,0 +1,142 @@
+"""Tests for the code generator: round trips, parenthesization, stability.
+
+Includes hypothesis property tests: random expressions survive an
+emit -> parse -> emit round trip, and random programs keep their
+behaviour through emit -> parse -> run.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cir import emit, emit_expression, parse, parse_expression, run_program
+from repro.cir.nodes import BinOp, IntLit, UnaryOp
+
+
+def roundtrip(source):
+    program = parse(source)
+    text = emit(program)
+    reparsed = parse(text)
+    return program, text, reparsed
+
+
+def test_emit_is_stable():
+    source = """
+    int g = 3;
+    int f(int a, int b) { return a + b; }
+    int main() { int x[4]; x[0] = f(1, 2) * g; return x[0]; }
+    """
+    _, text1, reparsed = roundtrip(source)
+    text2 = emit(reparsed)
+    assert text1 == text2
+
+
+def test_roundtrip_preserves_behaviour():
+    source = """
+    int fib(int n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); }
+    int main() { print(fib(8)); return fib(9); }
+    """
+    program, _, reparsed = roundtrip(source)
+    before = run_program(program)
+    after = run_program(reparsed)
+    assert before.return_value == after.return_value
+    assert before.output == after.output
+
+
+def test_precedence_parens_inserted_only_when_needed():
+    cases = {
+        "a * (b + c)": "a * (b + c)",
+        "(a + b) * c": "(a + b) * c",
+        "a + b * c": "a + b * c",
+        "a - (b - c)": "a - (b - c)",
+        "a - b - c": "a - b - c",
+        "-(a + b)": "-(a + b)",
+        "-a + b": "-a + b",
+    }
+    for source, expected in cases.items():
+        assert emit_expression(parse_expression(source)) == expected
+
+
+def test_ternary_and_logic_emission():
+    expr = parse_expression("a && b || c ? x + 1 : y")
+    text = emit_expression(expr)
+    assert parse_expression(text)  # reparses cleanly
+    assert emit_expression(parse_expression(text)) == text
+
+
+def test_float_literals_keep_point():
+    assert emit_expression(parse_expression("2.0")) in ("2.0", "2.0")
+    assert "." in emit_expression(parse_expression("1.0 + 2.0"))
+
+
+def test_string_literal_escaping():
+    program = parse('int main() { print("a\\"b\\n"); return 0; }')
+    text = emit(program)
+    assert run_program(parse(text)).output == ['a"b\n']
+
+
+def test_for_header_emission():
+    source = "int main() { int i; for (i = 0; i < 4; i += 2) { } return i; }"
+    program, text, reparsed = roundtrip(source)
+    assert run_program(reparsed).return_value == 4
+
+
+def test_else_branch_emitted():
+    source = """
+    int main() { int x; if (0) { x = 1; } else { x = 2; } return x; }
+    """
+    _, text, reparsed = roundtrip(source)
+    assert "else" in text
+    assert run_program(reparsed).return_value == 2
+
+
+# ---------------------------------------------------------------------------
+# property-based round trips
+# ---------------------------------------------------------------------------
+
+_leaf = st.one_of(
+    st.integers(min_value=0, max_value=999).map(lambda v: str(v)),
+    st.sampled_from(["a", "b", "c"]),
+)
+
+
+def _expr_strategy():
+    return st.recursive(
+        _leaf,
+        lambda children: st.one_of(
+            st.tuples(children,
+                      st.sampled_from(["+", "-", "*", "/", "%", "<", ">",
+                                       "==", "&&", "||", "&", "|", "^"]),
+                      children).map(lambda t: f"({t[0]} {t[1]} {t[2]})"),
+            st.tuples(st.sampled_from(["-", "!", "~"]),
+                      children).map(lambda t: f"({t[0]}{t[1]})"),
+        ),
+        max_leaves=12,
+    )
+
+
+@given(_expr_strategy())
+@settings(max_examples=120, deadline=None)
+def test_expression_roundtrip_property(source):
+    expr = parse_expression(source)
+    text = emit_expression(expr)
+    reparsed = parse_expression(text)
+    # Emission of the reparsed tree must be a fixed point.
+    assert emit_expression(reparsed) == text
+
+
+@given(st.lists(st.integers(min_value=-50, max_value=50),
+                min_size=1, max_size=8),
+       st.integers(min_value=2, max_value=9))
+@settings(max_examples=60, deadline=None)
+def test_program_roundtrip_behaviour_property(values, divisor):
+    """Random straight-line arithmetic keeps behaviour across round trip."""
+    body = []
+    for index, value in enumerate(values):
+        body.append(f"int v{index} = {value};")
+    exprs = " + ".join(f"(v{i} * {i + 1} % {divisor})"
+                       for i in range(len(values)))
+    source = "int main() { " + " ".join(body) + f" return {exprs}; }}"
+    program = parse(source)
+    before = run_program(program).return_value
+    after = run_program(parse(emit(program))).return_value
+    assert before == after

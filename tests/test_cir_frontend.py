@@ -1,0 +1,166 @@
+"""Tests for the mini-C lexer and parser."""
+
+import pytest
+
+from repro.cir import (
+    ArrayIndex, Assign, BinOp, Block, Call, Decl, For, Ident, If, IntLit,
+    LexError, ParseError, Program, Return, UnaryOp, While, parse,
+    parse_expression, tokenize,
+)
+from repro.cir.nodes import Cond
+from repro.cir.typesys import ArrayType, PointerType, ScalarType
+
+
+class TestLexer:
+    def test_basic_tokens(self):
+        tokens = tokenize("int x = 42;")
+        kinds = [(t.kind, t.text) for t in tokens]
+        assert kinds == [("keyword", "int"), ("ident", "x"), ("op", "="),
+                         ("int", "42"), ("op", ";"), ("eof", "")]
+
+    def test_float_and_exponent(self):
+        tokens = tokenize("1.5 2e3 3.25e-1")
+        assert [t.kind for t in tokens[:-1]] == ["float"] * 3
+
+    def test_positions(self):
+        tokens = tokenize("a\n  bb")
+        assert (tokens[0].line, tokens[0].col) == (1, 1)
+        assert (tokens[1].line, tokens[1].col) == (2, 3)
+
+    def test_comments_skipped(self):
+        tokens = tokenize("a // line comment\n/* block\ncomment */ b")
+        assert [t.text for t in tokens[:-1]] == ["a", "b"]
+
+    def test_string_escapes(self):
+        tokens = tokenize(r'"a\nb\"c"')
+        assert tokens[0].value if hasattr(tokens[0], "value") else True
+        assert tokens[0].text == 'a\nb"c'
+
+    def test_multi_char_operators_longest_match(self):
+        tokens = tokenize("a <<= b >= c == d")
+        ops = [t.text for t in tokens if t.kind == "op"]
+        assert ops == ["<<=", ">=", "=="]
+
+    def test_unknown_char_raises(self):
+        with pytest.raises(LexError):
+            tokenize("int a = $;")
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            tokenize('"abc')
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            tokenize("/* never ends")
+
+
+class TestParser:
+    def test_function_and_globals(self):
+        program = parse("int g; float f; int main() { return 0; }")
+        assert [d.name for d in program.globals] == ["g", "f"]
+        assert program.has_function("main")
+        assert not program.has_function("nope")
+        with pytest.raises(KeyError):
+            program.function("nope")
+
+    def test_array_declarations(self):
+        program = parse("int a[4][8]; int main() { float b[3]; return 0; }")
+        assert program.globals[0].type == ArrayType(ScalarType("int"), (4, 8))
+        decl = program.function("main").body.stmts[0]
+        assert decl.type == ArrayType(ScalarType("float"), (3,))
+
+    def test_pointer_declaration(self):
+        program = parse("int main() { int *p; return 0; }")
+        decl = program.function("main").body.stmts[0]
+        assert isinstance(decl.type, PointerType)
+
+    def test_precedence(self):
+        expr = parse_expression("1 + 2 * 3")
+        assert isinstance(expr, BinOp) and expr.op == "+"
+        assert isinstance(expr.right, BinOp) and expr.right.op == "*"
+
+    def test_left_associativity(self):
+        expr = parse_expression("10 - 4 - 3")
+        assert expr.op == "-"
+        assert isinstance(expr.left, BinOp)
+        assert expr.right.value == 3
+
+    def test_comparison_chains_into_logic(self):
+        expr = parse_expression("a < b && c >= d || e == f")
+        assert expr.op == "||"
+
+    def test_ternary(self):
+        expr = parse_expression("a ? b : c ? d : e")
+        assert isinstance(expr, Cond)
+        assert isinstance(expr.other, Cond)  # right-associative
+
+    def test_unary_and_postfix(self):
+        expr = parse_expression("-a[2][3]")
+        assert isinstance(expr, UnaryOp)
+        assert isinstance(expr.operand, ArrayIndex)
+        chain = expr.operand.index_chain()
+        assert [c.value for c in chain] == [2, 3]
+
+    def test_address_and_deref(self):
+        expr = parse_expression("*(p + 1)")
+        assert isinstance(expr, UnaryOp) and expr.op == "*"
+        expr2 = parse_expression("&a[3]")
+        assert isinstance(expr2, UnaryOp) and expr2.op == "&"
+
+    def test_call_args(self):
+        expr = parse_expression("f(1, g(2), x)")
+        assert isinstance(expr, Call)
+        assert len(expr.args) == 3
+
+    def test_for_header_variants(self):
+        program = parse("""
+        int main() {
+          int i;
+          for (i = 0; i < 4; i++) { }
+          for (int j = 0; j < 4; j += 2) { }
+          for (;;) { break; }
+          return 0;
+        }""")
+        loops = [s for s in program.function("main").body.stmts
+                 if isinstance(s, For)]
+        assert len(loops) == 3
+        assert loops[2].test is None
+
+    def test_if_else_and_single_statement_bodies(self):
+        program = parse("""
+        int main() {
+          int x;
+          if (1) x = 1; else x = 2;
+          while (0) x = 3;
+          return x;
+        }""")
+        stmt = program.function("main").body.stmts[1]
+        assert isinstance(stmt, If)
+        assert isinstance(stmt.then, Block) and len(stmt.then.stmts) == 1
+
+    def test_compound_assignment_ops(self):
+        program = parse("""
+        int main() { int x; x = 1; x += 2; x <<= 1; x--; return x; }""")
+        stmts = program.function("main").body.stmts
+        assert stmts[2].op == "+"
+        assert stmts[3].op == "<<"
+        assert stmts[4].op == "-" and stmts[4].value.value == 1
+
+    def test_parse_errors(self):
+        for source in ["int main() { return 0 }",   # missing ;
+                       "int main() { 1 +; }",        # bad expr
+                       "int main() {",               # unterminated block
+                       "banana main() { }",          # bad type
+                       "int main(int) { }"]:         # missing param name
+            with pytest.raises(ParseError):
+                parse(source)
+
+    def test_duplicate_label_free_positions(self):
+        program = parse("int main() { int abc; abc = 5; return abc; }")
+        decl = program.function("main").body.stmts[0]
+        assert decl.line == 1
+
+    def test_node_ids_unique(self):
+        program = parse("int main() { return 1 + 2; }")
+        ids = [node.node_id for node in program.walk()]
+        assert len(ids) == len(set(ids))

@@ -1,0 +1,231 @@
+"""Tests for the mini-C interpreter: C semantics, memory model, counting."""
+
+import pytest
+
+from repro.cir import InterpError, Interpreter, parse, run_program
+
+
+def run(source, entry="main", args=None, externals=None, **kwargs):
+    return run_program(parse(source), entry=entry, args=args,
+                       externals=externals, **kwargs)
+
+
+class TestArithmetic:
+    def test_truncating_division(self):
+        assert run("int main() { return 7 / 2; }").return_value == 3
+        assert run("int main() { return (0-7) / 2; }").return_value == -3
+        assert run("int main() { return 7 / (0-2); }").return_value == -3
+
+    def test_modulo_sign_follows_dividend(self):
+        assert run("int main() { return 7 % 3; }").return_value == 1
+        assert run("int main() { return (0-7) % 3; }").return_value == -1
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(InterpError, match="division by zero"):
+            run("int main() { return 1 / 0; }")
+
+    def test_float_promotion(self):
+        result = run("float main() { return 1 / 2 + 1.5; }")
+        assert result.return_value == pytest.approx(1.5)
+
+    def test_int_coercion_on_return(self):
+        assert run("int main() { float x; x = 3.7; return x; }"
+                   ).return_value == 3
+
+    def test_bitwise_and_shifts(self):
+        assert run("int main() { return (5 & 3) | (1 << 4) ^ 2; }"
+                   ).return_value == (5 & 3) | (1 << 4) ^ 2
+
+    def test_comparisons_return_int(self):
+        assert run("int main() { return (3 < 5) + (5 <= 5) + (2 > 7); }"
+                   ).return_value == 2
+
+
+class TestControlFlow:
+    def test_short_circuit_and(self):
+        # RHS would divide by zero; short circuit must skip it.
+        assert run("int main() { return 0 && (1 / 0); }").return_value == 0
+
+    def test_short_circuit_or(self):
+        assert run("int main() { return 1 || (1 / 0); }").return_value == 1
+
+    def test_while_break_continue(self):
+        source = """
+        int main() {
+          int i; int s; s = 0;
+          for (i = 0; i < 10; i++) {
+            if (i == 3) { continue; }
+            if (i == 7) { break; }
+            s += i;
+          }
+          return s;
+        }"""
+        assert run(source).return_value == 0 + 1 + 2 + 4 + 5 + 6
+
+    def test_nested_loops(self):
+        source = """
+        int main() {
+          int i; int j; int s; s = 0;
+          for (i = 0; i < 3; i++) {
+            for (j = 0; j < 4; j++) { s += i * j; }
+          }
+          return s;
+        }"""
+        assert run(source).return_value == sum(i * j for i in range(3)
+                                               for j in range(4))
+
+    def test_ternary(self):
+        assert run("int main() { int x; x = 5; return x > 3 ? 10 : 20; }"
+                   ).return_value == 10
+
+    def test_step_limit_guards_infinite_loop(self):
+        with pytest.raises(InterpError, match="step limit"):
+            run("int main() { while (1) { } return 0; }", step_limit=1000)
+
+
+class TestArraysAndPointers:
+    def test_2d_array(self):
+        source = """
+        int m[3][4];
+        int main() {
+          int i; int j;
+          for (i = 0; i < 3; i++)
+            for (j = 0; j < 4; j++)
+              m[i][j] = i * 10 + j;
+          return m[2][3];
+        }"""
+        assert run(source).return_value == 23
+
+    def test_out_of_bounds_raises(self):
+        with pytest.raises(InterpError, match="out of bounds"):
+            run("int a[4]; int main() { return a[9]; }")
+
+    def test_pointer_to_array_element(self):
+        source = """
+        int a[8];
+        int main() {
+          int *p;
+          int i;
+          for (i = 0; i < 8; i++) { a[i] = i * i; }
+          p = &a[2];
+          return *p + *(p + 3) + p[1];
+        }"""
+        assert run(source).return_value == 4 + 25 + 9
+
+    def test_pointer_store(self):
+        source = """
+        int a[4];
+        int main() { int *p; p = &a[1]; *p = 42; return a[1]; }"""
+        assert run(source).return_value == 42
+
+    def test_address_of_scalar(self):
+        source = """
+        int main() { int x; int *p; x = 7; p = &x; *p = 9; return *p; }"""
+        assert run(source).return_value == 9
+
+    def test_array_passed_by_reference(self):
+        source = """
+        void fill(int buf[4], int v) {
+          int i;
+          for (i = 0; i < 4; i++) { buf[i] = v; }
+        }
+        int a[4];
+        int main() { fill(a, 5); return a[0] + a[3]; }"""
+        assert run(source).return_value == 10
+
+
+class TestFunctions:
+    def test_recursion(self):
+        source = """
+        int fib(int n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); }
+        int main() { return fib(10); }"""
+        assert run(source).return_value == 55
+
+    def test_scalar_args_by_value(self):
+        source = """
+        void bump(int x) { x = x + 1; }
+        int main() { int v; v = 3; bump(v); return v; }"""
+        assert run(source).return_value == 3
+
+    def test_wrong_arity_raises(self):
+        with pytest.raises(InterpError, match="expects"):
+            run("int f(int a) { return a; } int main() { return f(); }")
+
+    def test_unknown_function_raises(self):
+        with pytest.raises(InterpError, match="unknown function"):
+            run("int main() { return mystery(); }")
+
+    def test_externals(self):
+        calls = []
+
+        def ch_write(channel, value):
+            calls.append((channel, value))
+            return 0
+
+        run("int main() { ch_write(3, 14); return 0; }",
+            externals={"ch_write": ch_write})
+        assert calls == [(3, 14)]
+
+    def test_intrinsics(self):
+        source = """
+        int main() {
+          return abs(0-4) + min(3, 1) + max(2, 7) + floor(2.9) + ceil(2.1);
+        }"""
+        assert run(source).return_value == 4 + 1 + 7 + 2 + 3
+
+    def test_print_collects_output(self):
+        result = run('int main() { print(1); print(2, 3); return 0; }')
+        assert result.output == [1, 2, 3]
+
+
+class TestScopingAndState:
+    def test_block_scoping_shadows(self):
+        source = """
+        int main() {
+          int x; x = 1;
+          if (1) { int x; x = 99; }
+          return x;
+        }"""
+        assert run(source).return_value == 1
+
+    def test_for_header_decl_scoped_to_loop(self):
+        source = """
+        int main() {
+          int i; i = 100;
+          for (int i = 0; i < 3; i++) { }
+          return i;
+        }"""
+        assert run(source).return_value == 100
+
+    def test_globals_persist_across_calls(self):
+        source = """
+        int counter;
+        int tick() { counter += 1; return counter; }
+        int main() { tick(); tick(); return tick(); }"""
+        assert run(source).return_value == 3
+
+    def test_global_initializer(self):
+        assert run("int g = 5 * 4; int main() { return g; }"
+                   ).return_value == 20
+
+
+class TestCounting:
+    def test_op_count_scales_with_work(self):
+        small = run("""int main() { int i; int s; s=0;
+                       for (i=0;i<10;i++){s+=i;} return s; }""")
+        large = run("""int main() { int i; int s; s=0;
+                       for (i=0;i<100;i++){s+=i;} return s; }""")
+        assert large.op_count > small.op_count * 5
+
+    def test_call_counts(self):
+        result = run("""
+        int f() { return 1; }
+        int main() { int i; int s; s = 0;
+          for (i = 0; i < 4; i++) { s += f(); } return s; }""")
+        assert result.call_counts["f"] == 4
+
+    def test_persistent_interpreter_state(self):
+        program = parse("int n; int task_go() { n += 1; return n; }")
+        interp = Interpreter(program)
+        assert interp.call("task_go", []) == 1
+        assert interp.call("task_go", []) == 2

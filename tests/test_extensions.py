@@ -1,0 +1,304 @@
+"""Tests for the extension features: simulated-annealing mapping, HOPES
+architecture exploration, and the hardware mailbox/IPI peripheral."""
+
+import pytest
+
+from repro.hopes import (
+    CICApplication, CICTask, cell_candidates, explore_architectures,
+    smp_candidates,
+)
+from repro.hopes.explore import hardware_cost
+from repro.maps import (
+    PEClass, PlatformSpec, TaskGraph, evaluate_assignment, map_task_graph,
+    map_task_graph_annealing, map_task_graph_random,
+)
+from repro.vp import SoC, SoCConfig
+from repro.vp.peripherals.mailbox import MailboxBank
+from repro.vp.soc import MBOX_BASE
+
+
+# ---------------------------------------------------------------------------
+# simulated-annealing mapper
+# ---------------------------------------------------------------------------
+
+def wide_graph(width=8, cost=20.0):
+    graph = TaskGraph("wide")
+    graph.add_task("src", cost=2.0)
+    graph.add_task("snk", cost=2.0)
+    for index in range(width):
+        name = f"w{index}"
+        graph.add_task(name, cost=cost)
+        graph.connect("src", name, 2)
+        graph.connect(name, "snk", 2)
+    return graph
+
+
+class TestAnnealing:
+    def test_evaluate_assignment_schedules_correctly(self):
+        platform = PlatformSpec.symmetric(2, channel_setup_cost=0.0,
+                                          channel_word_cost=0.0)
+        graph = TaskGraph()
+        graph.add_task("a", cost=10)
+        graph.add_task("b", cost=10)
+        graph.connect("a", "b")
+        serial = evaluate_assignment(graph, platform,
+                                     {"a": "pe0", "b": "pe0"})
+        split = evaluate_assignment(graph, platform,
+                                    {"a": "pe0", "b": "pe1"})
+        # A chain cannot go faster by splitting (and comm is free here).
+        assert serial.makespan == pytest.approx(20.0)
+        assert split.makespan == pytest.approx(20.0)
+
+    def test_annealing_improves_on_random_start(self):
+        platform = PlatformSpec.symmetric(4, channel_setup_cost=0.5,
+                                          channel_word_cost=0.05)
+        graph = wide_graph()
+        report = map_task_graph_annealing(graph, platform, iterations=1500,
+                                          seed=3)
+        assert report.best.makespan <= report.initial_makespan
+        assert report.accepted_moves > 0
+
+    def test_annealing_deterministic_per_seed(self):
+        platform = PlatformSpec.symmetric(3)
+        graph = wide_graph(6)
+        a = map_task_graph_annealing(graph, platform, iterations=400,
+                                     seed=7)
+        b = map_task_graph_annealing(graph, platform, iterations=400,
+                                     seed=7)
+        assert a.best.assignment == b.best.assignment
+        assert a.best.makespan == b.best.makespan
+
+    def test_annealing_competitive_with_heft(self):
+        platform = PlatformSpec.symmetric(4, channel_setup_cost=0.5,
+                                          channel_word_cost=0.05)
+        graph = wide_graph()
+        heft = map_task_graph(graph, platform)
+        annealed = map_task_graph_annealing(graph, platform,
+                                            iterations=2500, seed=1).best
+        assert annealed.makespan <= heft.makespan * 1.15
+
+    def test_annealing_beats_pathological_heft_tie(self):
+        """On a wide graph with zero comm cost, annealing spreads load at
+        least as well as the random baseline."""
+        platform = PlatformSpec.symmetric(4, channel_setup_cost=0.0,
+                                          channel_word_cost=0.0)
+        graph = wide_graph(8)
+        annealed = map_task_graph_annealing(graph, platform,
+                                            iterations=2000, seed=2).best
+        rand = map_task_graph_random(graph, platform, tries=20, seed=2)
+        assert annealed.makespan <= rand.makespan
+
+    def test_preferred_pe_respected(self):
+        platform = PlatformSpec("het")
+        platform.add_pe("cpu", PEClass.RISC)
+        platform.add_pe("dsp", PEClass.DSP)
+        graph = TaskGraph()
+        node = graph.add_task("filter", cost=30)
+        node.preferred_pe = PEClass.DSP
+        report = map_task_graph_annealing(graph, platform, iterations=100,
+                                          seed=0)
+        assert report.best.assignment["filter"] == "dsp"
+
+    def test_unknown_pe_rejected(self):
+        platform = PlatformSpec.symmetric(2)
+        graph = TaskGraph()
+        graph.add_task("a")
+        with pytest.raises(KeyError):
+            evaluate_assignment(graph, platform, {"a": "nope"})
+
+
+# ---------------------------------------------------------------------------
+# HOPES architecture exploration
+# ---------------------------------------------------------------------------
+
+def chain_app():
+    app = CICApplication("chain")
+    app.add_task(CICTask("gen", """
+        int n;
+        int task_go() { write_port(0, n); n += 1; return 0; }
+        """, out_ports=["o"], data_words=64))
+    app.add_task(CICTask("work", """
+        int task_go() {
+          int v; int i; int s;
+          v = read_port(0);
+          s = 0;
+          for (i = 0; i < 40; i++) { s += (v + i) % 7; }
+          write_port(0, s);
+          return 0;
+        }
+        """, in_ports=["i"], out_ports=["o"], data_words=128))
+    app.add_task(CICTask("sink", """
+        int task_go() { emit(read_port(0)); return 0; }
+        """, in_ports=["i"], data_words=16))
+    app.connect("gen", "o", "work", "i")
+    app.connect("work", "o", "sink", "i")
+    return app
+
+
+class TestExploration:
+    def test_candidates_generated(self):
+        assert len(smp_candidates(4)) == 4
+        cells = cell_candidates(3)
+        assert len(cells) == 3
+        assert cells[2].processors[0].proc_type == "host"
+
+    def test_hardware_cost_monotone(self):
+        costs = [hardware_cost(arch) for arch in smp_candidates(4)]
+        assert costs == sorted(costs)
+
+    def test_exploration_produces_pareto_front(self):
+        candidates = smp_candidates(3) + cell_candidates(2)
+        result = explore_architectures(chain_app, candidates, iterations=8)
+        assert len(result.points) == len(candidates)
+        assert result.pareto
+        # The front is non-dominated.
+        for point in result.pareto:
+            assert not any(
+                other.hardware_cost < point.hardware_cost - 1e-9 and
+                other.end_time < point.end_time - 1e-9
+                for other in result.points)
+
+    def test_all_points_functionally_identical(self):
+        candidates = smp_candidates(2) + cell_candidates(2)
+        result = explore_architectures(chain_app, candidates, iterations=6)
+        outputs = {tuple(p.report.output_of("sink"))
+                   for p in result.points}
+        assert len(outputs) == 1  # retargetability across the whole space
+
+    def test_best_under_budget(self):
+        result = explore_architectures(chain_app, smp_candidates(4),
+                                       iterations=6)
+        cheap = result.best_under_cost(hardware_cost(smp_candidates(1)[0]))
+        assert cheap is not None
+        rich = result.best_under_cost(1e9)
+        assert rich.end_time <= cheap.end_time
+
+    def test_infeasible_candidates_survive(self):
+        from repro.hopes.archfile import ArchInfo, ProcessorInfo
+
+        def tiny_store_app():
+            app = chain_app()
+            app.tasks["work"].data_words = 100_000
+            return app
+
+        bad = ArchInfo(name="tiny", model="distributed")
+        bad.processors.append(ProcessorInfo("spe0", "accel", 1.0, 64))
+        result = explore_architectures(tiny_store_app, [bad], iterations=2)
+        assert not result.points
+        assert result.infeasible
+
+
+# ---------------------------------------------------------------------------
+# hardware mailboxes / IPIs
+# ---------------------------------------------------------------------------
+
+class TestMailboxBank:
+    def test_send_receive(self):
+        bank = MailboxBank(2)
+        bank.core_write(0, 0, 1)     # TX_DST = core1
+        bank.core_write(0, 1, 42)    # send
+        assert bank.doorbells[1].read() == 1
+        assert bank.core_read(1, 3) == 1        # RX_COUNT
+        assert bank.core_read(1, 2) == 42       # RX_DATA
+        assert bank.core_read(1, 4) == 0        # RX_SRC = core0
+        assert bank.doorbells[1].read() == 0    # drained -> deasserted
+
+    def test_capacity_drops(self):
+        bank = MailboxBank(2, capacity=2)
+        bank.core_write(0, 0, 1)
+        for value in (1, 2, 3):
+            bank.core_write(0, 1, value)
+        assert bank.dropped == 1
+        assert bank.core_read(1, 3) == 2
+
+    def test_bad_destination(self):
+        bank = MailboxBank(2)
+        with pytest.raises(IndexError):
+            bank.core_write(0, 0, 9)
+
+    def test_fifo_order_and_sources(self):
+        bank = MailboxBank(3)
+        bank.core_write(0, 0, 2)
+        bank.core_write(0, 1, 10)
+        bank.core_write(1, 0, 2)
+        bank.core_write(1, 1, 20)
+        assert bank.core_read(2, 2) == 10
+        assert bank.core_read(2, 4) == 0
+        assert bank.core_read(2, 2) == 20
+        assert bank.core_read(2, 4) == 1
+
+
+class TestMailboxFirmware:
+    def test_cross_core_message(self):
+        """core0 mails a word; core1 spins on RX_COUNT and stores it."""
+        sender = f"""
+            li r1, {MBOX_BASE}
+            li r2, 1
+            sw r2, 0(r1)     ; TX_DST = core1
+            li r2, 123
+            sw r2, 1(r1)     ; send
+            halt
+        """
+        receiver = f"""
+            li r1, {MBOX_BASE + 0x10}
+        wait:
+            lw r2, 3(r1)     ; RX_COUNT
+            beq r2, r0, wait
+            lw r3, 2(r1)     ; RX_DATA
+            sw r3, 64(r0)
+            halt
+        """
+        soc = SoC(SoCConfig(n_cores=2), {0: sender, 1: receiver})
+        soc.run(max_events=50_000)
+        assert soc.mem(64) == 123
+        assert soc.all_halted
+
+    def test_doorbell_interrupt_wakes_core(self):
+        """IPI: core1 sleeps in a spin loop with interrupts enabled; the
+        doorbell (via the INTC) vectors it into an ISR that reads the
+        mailbox."""
+        from repro.vp.isa import assemble
+        sender = f"""
+            li r1, {MBOX_BASE}
+            li r2, 1
+            sw r2, 0(r1)
+            li r2, 77
+            sw r2, 1(r1)
+            halt
+        """
+        receiver_src = f"""
+            li r1, {MBOX_BASE + 0x10}
+            ei
+        spin:
+            jmp spin
+        isr:
+            lw r3, 2(r1)
+            sw r3, 65(r0)
+            halt
+        """
+        receiver = assemble(receiver_src)
+        soc = SoC(SoCConfig(n_cores=2,
+                            irq_vector=receiver.label("isr")),
+                  {0: sender, 1: receiver})
+        soc.intcs[1].add_source(0, soc.mailboxes.doorbells[1])
+        soc.intcs[1].write(1, 1)  # unmask doorbell line
+        soc.run(max_events=50_000)
+        assert soc.mem(65) == 77
+        assert soc.cores[1].halted
+
+    def test_doorbell_signal_watchable(self):
+        from repro.vp import Debugger
+        sender = f"""
+            li r1, {MBOX_BASE}
+            li r2, 1
+            sw r2, 0(r1)
+            li r2, 5
+            sw r2, 1(r1)
+            halt
+        """
+        soc = SoC(SoCConfig(n_cores=2), {0: sender, 1: "halt\n"})
+        debugger = Debugger(soc)
+        debugger.add_signal_watchpoint("mbox1.doorbell", edge="posedge")
+        reason = debugger.run()
+        assert reason.kind == "watchpoint"
+        assert "mbox1.doorbell" in reason.detail

@@ -1,0 +1,126 @@
+"""Tests for the model-based CIC front end (Figure 2's Automatic Code
+Generation box) and the runtime's processor-contention model."""
+
+import pytest
+
+from repro.dataflow import SDFGraph
+from repro.hopes import (
+    CICApplication, CICTask, CICTranslator, cic_from_sdf, parse_arch_xml,
+)
+
+SMP2 = """
+<architecture name="smp2" model="shared">
+  <processor name="cpu0" type="smp" freq="1.0"/>
+  <processor name="cpu1" type="smp" freq="1.0"/>
+  <interconnect kind="bus" setup="12" per_word="0.25"/>
+</architecture>
+"""
+
+
+def chain_sdf():
+    graph = SDFGraph("genchain")
+    graph.add_actor("src")
+    graph.add_actor("mid")
+    graph.add_actor("snk")
+    graph.connect("src", "mid", 1, 1)
+    graph.connect("mid", "snk", 1, 1)
+    return graph
+
+
+class TestCicFromSdf:
+    def test_chain_generates_and_runs(self):
+        app = cic_from_sdf(chain_sdf())
+        assert set(app.tasks) == {"src", "mid", "snk"}
+        report = CICTranslator(app, parse_arch_xml(SMP2)) \
+            .translate().run(iterations=5)
+        # src emits 0,1,2,..; mid passes through; sink emits the value.
+        assert report.output_of("snk") == [0, 1, 2, 3, 4]
+
+    def test_custom_body_override(self):
+        app = cic_from_sdf(chain_sdf(), bodies={"mid": """
+            int task_go() {
+              write_port(0, read_port(0) * 10 + 1);
+              return 0;
+            }
+        """})
+        report = CICTranslator(app, parse_arch_xml(SMP2)) \
+            .translate().run(iterations=3)
+        assert report.output_of("snk") == [1, 11, 21]
+
+    def test_feedback_edge_preserves_tokens(self):
+        graph = SDFGraph("loop")
+        graph.add_actor("a")
+        graph.add_actor("b")
+        graph.connect("a", "b", 1, 1)
+        graph.connect("b", "a", 1, 1, tokens=1)
+        app = cic_from_sdf(graph)
+        channel = next(c for c in app.channels if c.src_task == "b")
+        assert channel.initial_tokens == [0]
+        report = CICTranslator(app, parse_arch_xml(SMP2)) \
+            .translate().run(iterations=4)
+        assert report.task_stats["a"].firings == 4
+        assert report.task_stats["b"].firings == 4
+
+    def test_fanout_and_join(self):
+        graph = SDFGraph("diamond")
+        for name in ("s", "l", "r", "t"):
+            graph.add_actor(name)
+        graph.connect("s", "l", 1, 1)
+        graph.connect("s", "r", 1, 1)
+        graph.connect("l", "t", 1, 1)
+        graph.connect("r", "t", 1, 1)
+        app = cic_from_sdf(graph)
+        assert app.tasks["s"].out_ports == ["out0", "out1"]
+        assert app.tasks["t"].in_ports == ["in0", "in1"]
+        report = CICTranslator(app, parse_arch_xml(SMP2)) \
+            .translate().run(iterations=3)
+        # t sums two copies of the source value: 0, 2, 4.
+        assert report.output_of("t") == [0, 2, 4]
+
+    def test_multirate_rejected(self):
+        graph = SDFGraph("multirate")
+        graph.add_actor("a")
+        graph.add_actor("b")
+        graph.connect("a", "b", 2, 1)
+        with pytest.raises(ValueError, match="single-rate"):
+            cic_from_sdf(graph)
+
+
+class TestRuntimeContention:
+    def _two_heavy_tasks(self):
+        app = CICApplication("contend")
+        heavy = """
+        int task_go() {
+          int i; int s; s = 0;
+          for (i = 0; i < 100; i++) { s += i; }
+          emit(s);
+          return 0;
+        }
+        """
+        app.add_task(CICTask("t1", heavy))
+        app.add_task(CICTask("t2", heavy))
+        return app
+
+    def test_same_processor_serializes(self):
+        app = self._two_heavy_tasks()
+        arch = parse_arch_xml(SMP2)
+        together = CICTranslator(app, arch).translate(
+            {"t1": "cpu0", "t2": "cpu0"}).run(iterations=4)
+        apart = CICTranslator(self._two_heavy_tasks(), arch).translate(
+            {"t1": "cpu0", "t2": "cpu1"}).run(iterations=4)
+        # Two independent tasks on one CPU take ~2x the time of two CPUs.
+        assert together.end_time > apart.end_time * 1.8
+
+    def test_throughput_automap_spreads_load(self):
+        app = self._two_heavy_tasks()
+        translator = CICTranslator(app, parse_arch_xml(SMP2))
+        mapping = translator.auto_map()
+        assert mapping["t1"] != mapping["t2"]
+
+    def test_makespan_objective_available(self):
+        app = self._two_heavy_tasks()
+        translator = CICTranslator(app, parse_arch_xml(SMP2))
+        mapping = translator.auto_map(objective="makespan")
+        assert set(mapping) == {"t1", "t2"}
+        with pytest.raises(ValueError):
+            translator.auto_map(objective="banana")

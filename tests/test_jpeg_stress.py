@@ -1,0 +1,162 @@
+"""Stress test: a full JPEG-encoder skeleton in mini-C.
+
+A realistic ~100-line program with 2-D data, helper functions, nested
+loops, and an entropy proxy.  Exercises the whole cir stack at once and
+feeds the MAPS flow a meatier workload than the micro-kernels.
+"""
+
+import pytest
+
+from repro.cir import check_program, emit, parse, run_program
+from repro.maps import MapsFlow, PlatformSpec
+
+JPEG = """
+int W;
+int H;
+int image[32][32];
+int block[8][8];
+int coeff[8][8];
+int qtable[8][8];
+int zigzag[64];
+int bitbudget;
+
+void load_image() {
+  int y; int x;
+  for (y = 0; y < 32; y++) {
+    for (x = 0; x < 32; x++) {
+      image[y][x] = (x * 13 + y * 31 + (x * y) % 7) % 256;
+    }
+  }
+}
+
+void build_qtable() {
+  int u; int v;
+  for (u = 0; u < 8; u++) {
+    for (v = 0; v < 8; v++) {
+      qtable[u][v] = 8 + (u + v) * 3;
+    }
+  }
+}
+
+void fetch_block(int by, int bx) {
+  int y; int x;
+  for (y = 0; y < 8; y++) {
+    for (x = 0; x < 8; x++) {
+      block[y][x] = image[by * 8 + y][bx * 8 + x] - 128;
+    }
+  }
+}
+
+int basis(int k, int n) {
+  int phase;
+  phase = (2 * n + 1) * k % 32;
+  if (phase < 8)  { return 4; }
+  if (phase < 16) { return 1; }
+  if (phase < 24) { return -4; }
+  return -1;
+}
+
+void dct_block() {
+  int u; int v; int y; int x; int acc;
+  for (u = 0; u < 8; u++) {
+    for (v = 0; v < 8; v++) {
+      acc = 0;
+      for (y = 0; y < 8; y++) {
+        for (x = 0; x < 8; x++) {
+          acc = acc + block[y][x] * basis(u, y) * basis(v, x);
+        }
+      }
+      coeff[u][v] = acc / 64;
+    }
+  }
+}
+
+void quantize_and_zigzag() {
+  int u; int v; int k;
+  k = 0;
+  for (u = 0; u < 8; u++) {
+    for (v = 0; v < 8; v++) {
+      int q;
+      q = coeff[u][v] / qtable[u][v];
+      zigzag[k] = q;
+      k = k + 1;
+    }
+  }
+}
+
+int entropy_size() {
+  int k; int bits; int run;
+  bits = 0;
+  run = 0;
+  for (k = 0; k < 64; k++) {
+    if (zigzag[k] == 0) {
+      run = run + 1;
+    } else {
+      bits = bits + 4 + run + abs(zigzag[k]) % 11;
+      run = 0;
+    }
+  }
+  return bits + 4;
+}
+
+int main() {
+  int by; int bx; int total;
+  W = 32;
+  H = 32;
+  total = 0;
+  load_image();
+  build_qtable();
+  for (by = 0; by < 4; by++) {
+    for (bx = 0; bx < 4; bx++) {
+      fetch_block(by, bx);
+      dct_block();
+      quantize_and_zigzag();
+      total = total + entropy_size();
+    }
+  }
+  bitbudget = total;
+  return total;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return run_program(parse(JPEG))
+
+
+class TestJpegProgram:
+    def test_runs_and_is_deterministic(self, golden):
+        again = run_program(parse(JPEG))
+        assert golden.return_value == again.return_value
+        assert golden.return_value > 0
+
+    def test_typechecker_clean(self):
+        errors = [d for d in check_program(parse(JPEG))
+                  if d.severity == "error"]
+        assert errors == []
+
+    def test_emit_roundtrip_preserves(self, golden):
+        regenerated = parse(emit(parse(JPEG)))
+        assert run_program(regenerated).return_value == golden.return_value
+
+    def test_global_state_published(self, golden):
+        assert golden.globals["bitbudget"] == golden.return_value
+        assert len(golden.globals["image"]) == 32 * 32
+
+    def test_call_profile_shape(self, golden):
+        # 16 blocks -> 16 calls of each per-block stage.
+        assert golden.call_counts["fetch_block"] == 16
+        assert golden.call_counts["dct_block"] == 16
+        assert golden.call_counts["entropy_size"] == 16
+        # basis() dominates: 2 calls per inner MAC, 64*64 MACs per block.
+        assert golden.call_counts["basis"] == 16 * 64 * 64 * 2
+
+    def test_maps_flow_handles_it(self, golden):
+        # The top-level block loop is sequential (calls with global state),
+        # so MAPS must fall back to a correct single-task mapping without
+        # corrupting semantics.
+        report = MapsFlow(PlatformSpec.symmetric(2)).run(
+            JPEG, split_k=2, app_name="jpeg_full")
+        assert report.semantics_preserved
+        assert report.parallel_result.return_value == golden.return_value

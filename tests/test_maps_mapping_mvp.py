@@ -1,0 +1,247 @@
+"""Tests for MAPS mapping, concurrency graph, MVP simulation and OSIP."""
+
+import pytest
+
+from repro.maps import (
+    ApplicationSpec, ConcurrencyGraph, OsipModel, PEClass, PlatformSpec,
+    RiscSchedulerModel, RTClass, TaskGraph, map_multi_app, map_task_graph,
+    simulate_mapping, task_farm_utilization,
+)
+from repro.maps.mvp import AppRun
+from repro.maps.osip import utilization_curve
+from repro.cir.parser import parse
+
+
+def diamond(costs=(4, 10, 10, 4), words=8):
+    graph = TaskGraph("diamond")
+    names = ["src", "left", "right", "sink"]
+    for name, cost in zip(names, costs):
+        graph.add_task(name, cost=cost)
+    graph.connect("src", "left", words)
+    graph.connect("src", "right", words)
+    graph.connect("left", "sink", words)
+    graph.connect("right", "sink", words)
+    return graph
+
+
+class TestMapping:
+    def test_parallel_branches_spread(self):
+        platform = PlatformSpec.symmetric(2, channel_setup_cost=0.1,
+                                          channel_word_cost=0.01)
+        mapping = map_task_graph(diamond(), platform)
+        assert mapping.pe_of("left") != mapping.pe_of("right")
+        # Makespan near critical path, not serial sum.
+        assert mapping.makespan < 4 + 10 + 10 + 4
+
+    def test_expensive_comm_keeps_tasks_together(self):
+        platform = PlatformSpec.symmetric(2, channel_setup_cost=1000.0)
+        mapping = map_task_graph(diamond(), platform)
+        pes = {mapping.pe_of(t) for t in mapping.graph.nodes}
+        assert len(pes) == 1
+
+    def test_preferred_pe_class_respected(self):
+        platform = PlatformSpec("het")
+        platform.add_pe("cpu", PEClass.RISC)
+        platform.add_pe("dsp", PEClass.DSP)
+        graph = TaskGraph()
+        node = graph.add_task("filter", cost=50)
+        node.preferred_pe = PEClass.DSP
+        mapping = map_task_graph(graph, platform)
+        assert mapping.pe_of("filter") == "dsp"
+
+    def test_allowed_pes_restricts(self):
+        platform = PlatformSpec.symmetric(4)
+        mapping = map_task_graph(diamond(), platform,
+                                 allowed_pes=["pe2", "pe3"])
+        assert set(mapping.assignment.values()) <= {"pe2", "pe3"}
+
+    def test_schedule_respects_dependences(self):
+        platform = PlatformSpec.symmetric(3)
+        mapping = map_task_graph(diamond(), platform)
+        by_task = {entry.task: entry for entry in mapping.schedule}
+        assert by_task["sink"].start >= by_task["left"].finish - 1e-9
+        assert by_task["left"].start >= by_task["src"].finish - 1e-9
+
+    def test_faster_pe_attracts_work(self):
+        platform = PlatformSpec("mix")
+        platform.add_pe("slow", freq=1.0)
+        platform.add_pe("fast", freq=4.0)
+        graph = TaskGraph()
+        graph.add_task("only", cost=100)
+        mapping = map_task_graph(graph, platform)
+        assert mapping.pe_of("only") == "fast"
+
+
+class TestConcurrency:
+    def test_scenarios_are_cliques(self):
+        cg = ConcurrencyGraph()
+        for name in "abc":
+            cg.add_app(name)
+        cg.set_concurrent("a", "b")
+        scenarios = cg.scenarios()
+        assert frozenset({"a", "b"}) in scenarios
+        assert frozenset({"c"}) in scenarios
+
+    def test_worst_case_load(self):
+        cg = ConcurrencyGraph()
+        for name in ("radio", "video", "codec"):
+            cg.add_app(name)
+        cg.set_concurrent("radio", "video")
+        # codec never concurrent with the others.
+        loads = {
+            "radio": {"pe0": 0.4},
+            "video": {"pe0": 0.5},
+            "codec": {"pe0": 0.8},
+        }
+        worst = cg.worst_case_load(loads)
+        assert worst["pe0"] == pytest.approx(0.9)  # radio+video clique
+
+    def test_self_concurrency_rejected(self):
+        cg = ConcurrencyGraph()
+        cg.add_app("a")
+        with pytest.raises(ValueError):
+            cg.set_concurrent("a", "a")
+
+
+class TestMultiApp:
+    def _app(self, name, rt_class, period=None, priority=10):
+        source = """
+        int main() { int i; int s = 0;
+          for (i = 0; i < 32; i++) { s += i; } return s; }
+        """
+        return ApplicationSpec(name, program=parse(source),
+                               rt_class=rt_class, period=period,
+                               priority=priority)
+
+    def test_hard_apps_admitted_with_capacity(self):
+        platform = PlatformSpec.symmetric(2)
+        graph = diamond(costs=(1, 2, 2, 1))
+        apps = [(self._app("hard1", RTClass.HARD, period=1000.0), graph),
+                (self._app("be", RTClass.BEST_EFFORT), diamond())]
+        result = map_multi_app(apps, platform)
+        assert result.admitted_hard == ["hard1"]
+        assert "be" in result.mappings
+
+    def test_overload_rejected(self):
+        platform = PlatformSpec.symmetric(1)
+        heavy = TaskGraph()
+        heavy.add_task("t", cost=100)
+        apps = [(self._app("h1", RTClass.HARD, period=150.0), heavy),
+                (self._app("h2", RTClass.HARD, period=150.0), heavy)]
+        result = map_multi_app(apps, platform)
+        assert len(result.admitted_hard) == 1
+        assert len(result.rejected_hard) == 1
+
+    def test_non_concurrent_apps_both_admitted(self):
+        platform = PlatformSpec.symmetric(1)
+        heavy = TaskGraph()
+        heavy.add_task("t", cost=100)
+        cg = ConcurrencyGraph()
+        cg.add_app("h1")
+        cg.add_app("h2")  # no edge: never concurrent
+        apps = [(self._app("h1", RTClass.HARD, period=150.0), heavy),
+                (self._app("h2", RTClass.HARD, period=150.0), heavy)]
+        result = map_multi_app(apps, platform, concurrency=cg)
+        assert sorted(result.admitted_hard) == ["h1", "h2"]
+
+
+class TestMvp:
+    def test_pipelined_iterations_overlap(self):
+        graph = TaskGraph("chain")
+        for index in range(3):
+            graph.add_task(f"s{index}", cost=10)
+        graph.connect("s0", "s1")
+        graph.connect("s1", "s2")
+        platform = PlatformSpec.symmetric(3, channel_setup_cost=0.0,
+                                          channel_word_cost=0.0)
+        # Explicit one-stage-per-PE mapping: HEFT would (correctly, for a
+        # single iteration) keep a chain on one PE, but MVP's streaming
+        # mode is what pays off the spread.
+        from repro.maps.mapping import Mapping
+        mapping = Mapping(graph, platform,
+                          assignment={"s0": "pe0", "s1": "pe1",
+                                      "s2": "pe2"})
+        report = simulate_mapping(
+            [AppRun("app", mapping, iterations=10)], platform)
+        # Pipelined: 10 iterations take ~ (10+2)*10, not 10*30.
+        assert report.makespan < 10 * 30 * 0.6
+        assert report.throughput("app") == pytest.approx(0.1, rel=0.2)
+
+    def test_single_pe_serializes(self):
+        graph = TaskGraph()
+        graph.add_task("a", cost=10)
+        graph.add_task("b", cost=10)
+        platform = PlatformSpec.symmetric(1)
+        mapping = map_task_graph(graph, platform)
+        report = simulate_mapping([AppRun("app", mapping)], platform)
+        assert report.makespan >= 20
+
+    def test_multi_app_contention(self):
+        graph = TaskGraph()
+        graph.add_task("t", cost=50)
+        platform = PlatformSpec.symmetric(1)
+        mapping = map_task_graph(graph, platform)
+        solo = simulate_mapping([AppRun("a", mapping, iterations=4)],
+                                platform)
+        shared = simulate_mapping(
+            [AppRun("a", mapping, iterations=4),
+             AppRun("b", mapping, iterations=4)], platform)
+        assert shared.makespan > solo.makespan
+
+    def test_periodic_source_and_deadline_misses(self):
+        graph = TaskGraph()
+        graph.add_task("t", cost=30)
+        platform = PlatformSpec.symmetric(1)
+        mapping = map_task_graph(graph, platform)
+        report = simulate_mapping(
+            [AppRun("app", mapping, iterations=5, period=100.0)], platform)
+        spans = report.iteration_spans["app"]
+        assert spans[1][0] >= 100.0
+        assert report.deadline_misses("app", deadline=31.0) == 0
+        assert report.deadline_misses("app", deadline=29.0) == 5
+
+    def test_utilization_accounting(self):
+        graph = TaskGraph()
+        graph.add_task("t", cost=10)
+        platform = PlatformSpec.symmetric(2)
+        mapping = map_task_graph(graph, platform)
+        report = simulate_mapping([AppRun("a", mapping, iterations=10)],
+                                  platform)
+        busy_pe = mapping.pe_of("t")
+        assert report.utilization(busy_pe) == pytest.approx(1.0, rel=0.05)
+
+
+class TestOsip:
+    def test_osip_beats_risc_at_fine_grain(self):
+        risc = task_farm_utilization(RiscSchedulerModel(), n_workers=8,
+                                     task_cycles=100, n_tasks=400)
+        osip = task_farm_utilization(OsipModel(), n_workers=8,
+                                     task_cycles=100, n_tasks=400)
+        assert osip.utilization > risc.utilization * 2
+
+    def test_coarse_grain_converges(self):
+        risc = task_farm_utilization(RiscSchedulerModel(), n_workers=4,
+                                     task_cycles=100_000, n_tasks=16)
+        osip = task_farm_utilization(OsipModel(), n_workers=4,
+                                     task_cycles=100_000, n_tasks=16)
+        assert abs(osip.utilization - risc.utilization) < 0.05
+
+    def test_dispatch_serialization_bound(self):
+        """With tiny tasks the RISC dispatcher saturates: makespan is at
+        least n_tasks * dispatch."""
+        scheduler = RiscSchedulerModel()
+        result = task_farm_utilization(scheduler, n_workers=16,
+                                       task_cycles=10, n_tasks=100)
+        assert result.makespan >= 100 * scheduler.dispatch_cycles
+
+    def test_utilization_curve_monotone_in_grain(self):
+        curve = utilization_curve(RiscSchedulerModel(), n_workers=8,
+                                  grain_sweep=[50, 500, 5000],
+                                  total_work=40_000)
+        assert curve[50] < curve[500] < curve[5000]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            task_farm_utilization(OsipModel(), 0, 10, 10)
+        with pytest.raises(ValueError):
+            OsipModel(dispatch_cycles=0)

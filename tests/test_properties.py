@@ -1,0 +1,143 @@
+"""Cross-cutting property-based tests on randomized inputs."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.maps import PlatformSpec, TaskGraph, evaluate_assignment
+from repro.vp import Debugger, SoC, SoCConfig
+
+
+# ---------------------------------------------------------------------------
+# schedule validity: any assignment, any DAG
+# ---------------------------------------------------------------------------
+
+@st.composite
+def random_dag(draw):
+    n = draw(st.integers(min_value=2, max_value=10))
+    graph = TaskGraph("rand")
+    for index in range(n):
+        cost = draw(st.integers(min_value=1, max_value=50))
+        graph.add_task(f"t{index}", cost=float(cost))
+    for dst in range(1, n):
+        for src in range(dst):
+            if draw(st.booleans()) and draw(st.booleans()):
+                words = draw(st.integers(min_value=1, max_value=64))
+                graph.connect(f"t{src}", f"t{dst}", words)
+    return graph
+
+
+@given(random_dag(), st.integers(min_value=1, max_value=4),
+       st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=60, deadline=None)
+def test_evaluate_assignment_schedules_are_valid(graph, n_pes, seed):
+    """For any DAG and any assignment, the static schedule must respect
+    dependences (incl. comm delays) and never overlap tasks on one PE."""
+    platform = PlatformSpec.symmetric(n_pes, channel_setup_cost=3.0,
+                                      channel_word_cost=0.5)
+    rng = random.Random(seed)
+    assignment = {task: rng.choice([pe.name for pe in platform.pes])
+                  for task in graph.nodes}
+    mapping = evaluate_assignment(graph, platform, assignment)
+
+    by_task = {entry.task: entry for entry in mapping.schedule}
+    # Dependence: successor starts after predecessor finish (+comm).
+    for edge in graph.edges:
+        src, dst = by_task[edge.src], by_task[edge.dst]
+        lag = 0.0
+        if assignment[edge.src] != assignment[edge.dst]:
+            lag = platform.comm_cost(edge.words)
+        assert dst.start + 1e-9 >= src.finish + lag - 1e-9
+
+    # Exclusivity: tasks on one PE never overlap.
+    for pe in platform.pes:
+        entries = sorted((e for e in mapping.schedule if e.pe == pe.name),
+                         key=lambda e: e.start)
+        for first, second in zip(entries, entries[1:]):
+            assert second.start + 1e-9 >= first.finish
+
+    # Makespan is the max finish.
+    assert mapping.makespan == pytest.approx(
+        max(e.finish for e in mapping.schedule))
+
+
+# ---------------------------------------------------------------------------
+# VP non-intrusiveness on random firmware
+# ---------------------------------------------------------------------------
+
+_OPS3 = ["add", "sub", "mul", "and", "or", "xor", "slt"]
+
+
+def _random_firmware(rng: random.Random, length: int) -> str:
+    """Random but safe straight-line firmware touching RAM 0..31."""
+    lines = ["li r1, 0"]
+    for _ in range(length):
+        choice = rng.randrange(4)
+        if choice == 0:
+            lines.append(f"li r{rng.randrange(2, 8)}, "
+                         f"{rng.randrange(-50, 200)}")
+        elif choice == 1:
+            op = rng.choice(_OPS3)
+            lines.append(f"{op} r{rng.randrange(2, 8)}, "
+                         f"r{rng.randrange(2, 8)}, r{rng.randrange(2, 8)}")
+        elif choice == 2:
+            lines.append(f"sw r{rng.randrange(2, 8)}, "
+                         f"{rng.randrange(0, 32)}(r0)")
+        else:
+            lines.append(f"lw r{rng.randrange(2, 8)}, "
+                         f"{rng.randrange(0, 32)}(r0)")
+    lines.append("halt")
+    return "\n".join(lines) + "\n"
+
+
+@given(st.integers(min_value=0, max_value=10_000),
+       st.integers(min_value=5, max_value=40))
+@settings(max_examples=40, deadline=None)
+def test_debugger_stepping_is_bit_identical(seed, length):
+    """Running N cores free vs event-stepping them under the debugger with
+    a watchpoint must produce identical final state -- the section-VII
+    non-intrusiveness property, over random firmware."""
+    rng = random.Random(seed)
+    programs = {core: _random_firmware(rng, length) for core in range(2)}
+
+    free = SoC(SoCConfig(n_cores=2), dict(programs))
+    free.run()
+
+    debugged = SoC(SoCConfig(n_cores=2), dict(programs))
+    debugger = Debugger(debugged)
+    debugger.add_watchpoint("access", 0, length=32)
+    guard = 0
+    while guard < 100_000:
+        reason = debugger.run()
+        guard += 1
+        if reason.kind in ("halted", "idle"):
+            break
+
+    assert [c.regs for c in debugged.cores] == [c.regs for c in free.cores]
+    assert [debugged.mem(i) for i in range(32)] == \
+        [free.mem(i) for i in range(32)]
+    assert [c.cycle_count for c in debugged.cores] == \
+        [c.cycle_count for c in free.cores]
+
+
+# ---------------------------------------------------------------------------
+# dataflow: buffer sizing always reaches its target on random chains
+# ---------------------------------------------------------------------------
+
+@given(st.lists(st.floats(min_value=0.5, max_value=4.0),
+                min_size=2, max_size=5),
+       st.integers(min_value=1, max_value=3))
+@settings(max_examples=30, deadline=None)
+def test_buffer_sizing_meets_unbounded_throughput(times, rate):
+    from repro.dataflow import SDFGraph, minimal_buffer_sizes, \
+        throughput_self_timed
+    graph = SDFGraph("randchain")
+    for index, exec_time in enumerate(times):
+        graph.add_actor(f"a{index}", float(exec_time))
+    for index in range(len(times) - 1):
+        graph.connect(f"a{index}", f"a{index + 1}", rate, rate)
+    unbounded = throughput_self_timed(graph, iterations=15)
+    result = minimal_buffer_sizes(graph, measure_iterations=15)
+    assert result.feasible
+    assert result.achieved_throughput == pytest.approx(unbounded, rel=1e-6)

@@ -1,0 +1,231 @@
+"""Tests for the virtual-platform peripherals."""
+
+import pytest
+
+from repro.desim import Signal, Simulator
+from repro.vp import SoC, SoCConfig
+from repro.vp.bus import Bus, BusError, Ram
+from repro.vp.peripherals.dma import DmaDevice
+from repro.vp.peripherals.intc import InterruptController
+from repro.vp.peripherals.semaphore import SemaphoreBank
+from repro.vp.peripherals.timer import TimerDevice
+from repro.vp.peripherals.uart import Uart
+
+
+class TestBus:
+    def test_decode_and_unmapped(self):
+        bus = Bus()
+        bus.attach(0, 16, Ram(16), "ram")
+        bus.write(3, 42, master="t")
+        assert bus.read(3) == 42
+        with pytest.raises(BusError):
+            bus.read(100)
+
+    def test_overlap_rejected(self):
+        bus = Bus()
+        bus.attach(0, 16, Ram(16), "a")
+        with pytest.raises(ValueError, match="overlaps"):
+            bus.attach(8, 16, Ram(16), "b")
+
+    def test_observers_see_accesses(self):
+        bus = Bus()
+        bus.attach(0, 8, Ram(8))
+        seen = []
+        bus.observe(lambda *a: seen.append(a))
+        bus.write(2, 5, master="core0")
+        bus.read(2, master="dma")
+        assert seen == [("write", 2, 5, "core0"), ("read", 2, 5, "dma")]
+
+    def test_peek_poke_bypass_observers(self):
+        bus = Bus()
+        bus.attach(0, 8, Ram(8))
+        seen = []
+        bus.observe(lambda *a: seen.append(a))
+        bus.poke(1, 9)
+        assert bus.peek(1) == 9
+        assert seen == []
+
+    def test_region_name(self):
+        bus = Bus()
+        bus.attach(0, 8, Ram(8), "ram")
+        assert bus.region_of(3) == "ram"
+
+
+class TestTimer:
+    def test_one_shot(self):
+        sim = Simulator()
+        timer = TimerDevice(sim)
+        timer.write(1, 10)  # PERIOD
+        timer.write(0, 1)   # enable, no auto-reload
+        sim.run(until=100)
+        assert timer.expirations == 1
+        assert timer.irq.read() == 1
+        timer.write(3, 0)   # clear status
+        assert timer.irq.read() == 0
+
+    def test_auto_reload(self):
+        sim = Simulator()
+        timer = TimerDevice(sim)
+        timer.write(1, 10)
+        timer.write(0, 3)   # enable + auto-reload
+        sim.run(until=55)
+        assert timer.expirations == 5
+
+    def test_disable_cancels(self):
+        sim = Simulator()
+        timer = TimerDevice(sim)
+        timer.write(1, 10)
+        timer.write(0, 1)
+        sim.after(5, lambda: timer.write(0, 0))
+        sim.run(until=100)
+        assert timer.expirations == 0
+
+    def test_count_register(self):
+        sim = Simulator()
+        timer = TimerDevice(sim)
+        timer.write(1, 10)
+        timer.write(0, 1)
+        readings = []
+        sim.after(4, lambda: readings.append(timer.read(2)))
+        sim.run(until=100)
+        assert readings == [6]
+
+
+class TestIntc:
+    def test_latch_and_mask(self):
+        sim = Simulator()
+        out = Signal("irq")
+        intc = InterruptController(sim, out)
+        src = Signal("timer.irq")
+        intc.add_source(0, src)
+        src.write(1)
+        assert intc.read(0) == 1   # pending latched
+        assert out.read() == 0     # masked
+        intc.write(1, 1)           # unmask line 0
+        assert out.read() == 1
+
+    def test_ack_clears(self):
+        sim = Simulator()
+        out = Signal("irq")
+        intc = InterruptController(sim, out)
+        src = Signal("s")
+        intc.add_source(0, src)
+        intc.write(1, 1)
+        src.write(1)
+        intc.write(2, 1)  # ACK bit 0
+        assert intc.read(0) == 0
+        assert out.read() == 0
+
+    def test_wrongly_masked_interrupt_visible_in_pending(self):
+        """The paper's classic bug: interrupt pending but masked."""
+        sim = Simulator()
+        out = Signal("irq")
+        intc = InterruptController(sim, out)
+        src = Signal("s")
+        intc.add_source(1, src)
+        intc.write(1, 0b0001)  # mask enables the WRONG line
+        src.write(1)
+        assert intc.read(0) == 0b0010  # debugger sees it pending
+        assert out.read() == 0          # but the core never does
+
+    def test_duplicate_line_rejected(self):
+        sim = Simulator()
+        intc = InterruptController(sim, Signal("o"))
+        intc.add_source(0, Signal("a"))
+        with pytest.raises(ValueError):
+            intc.add_source(0, Signal("b"))
+
+
+class TestDma:
+    def _setup(self):
+        sim = Simulator()
+        bus = Bus()
+        ram = Ram(256)
+        bus.attach(0, 256, ram)
+        dma = DmaDevice(sim, bus)
+        return sim, bus, ram, dma
+
+    def test_copy(self):
+        sim, bus, ram, dma = self._setup()
+        for i in range(8):
+            ram.write(i, i * 11)
+        dma.write(0, 0)    # SRC
+        dma.write(1, 100)  # DST
+        dma.write(2, 8)    # LEN
+        dma.write(3, 1)    # start
+        sim.run()
+        assert [ram.read(100 + i) for i in range(8)] == \
+            [i * 11 for i in range(8)]
+        assert dma.read(4) & 2  # done
+        assert dma.irq.read() == 1
+
+    def test_transfer_takes_time(self):
+        sim, bus, ram, dma = self._setup()
+        dma.write(2, 10)
+        dma.write(3, 1)
+        sim.run()
+        assert sim.now == pytest.approx(10 * dma.cycles_per_word)
+
+    def test_start_while_busy_raises(self):
+        sim, bus, ram, dma = self._setup()
+        dma.write(2, 10)
+        dma.write(3, 1)
+        with pytest.raises(RuntimeError, match="busy"):
+            dma.write(3, 1)
+
+    def test_status_clear_deasserts_irq(self):
+        sim, bus, ram, dma = self._setup()
+        dma.write(2, 2)
+        dma.write(3, 1)
+        sim.run()
+        dma.write(4, 0)
+        assert dma.irq.read() == 0
+
+
+class TestSemaphoreBank:
+    def test_read_to_acquire(self):
+        bank = SemaphoreBank(4)
+        assert bank.read(0) == 0  # acquired
+        assert bank.read(0) == 1  # already held
+        bank.write(0, 0)          # release
+        assert bank.read(0) == 0
+
+    def test_peek_has_no_side_effect(self):
+        bank = SemaphoreBank(4)
+        assert bank.peek(1) == 0
+        assert bank.peek(1) == 0
+        assert bank.read(1) == 0
+
+    def test_stats(self):
+        bank = SemaphoreBank(2)
+        bank.read(0)
+        bank.read(0)
+        bank.write(0, 0)
+        assert bank.acquire_attempts[0] == 2
+        assert bank.acquire_successes[0] == 1
+        assert bank.releases[0] == 1
+
+
+class TestUart:
+    def test_output_accumulates(self):
+        uart = Uart()
+        for char in "hi":
+            uart.write(0, ord(char))
+        assert uart.output == "hi"
+        assert uart.words == [104, 105]
+
+    def test_status_always_ready(self):
+        assert Uart().read(1) == 1
+
+    def test_soc_uart_integration(self):
+        asm = """
+            li r1, 0x8300
+            li r2, 72
+            sw r2, 0(r1)
+            li r2, 73
+            sw r2, 0(r1)
+            halt
+        """
+        soc = SoC(SoCConfig(n_cores=1), {0: asm})
+        soc.run()
+        assert soc.uart.output == "HI"
