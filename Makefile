@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench examples reproduce all clean
+.PHONY: install test bench examples reproduce trace-demo all clean
 
 install:
 	$(PYTHON) -m pip install -e .
@@ -21,6 +21,12 @@ examples:
 
 reproduce:
 	$(PYTHON) examples/reproduce_all.py
+
+# Cross-layer trace of the JPEG pipeline; open the JSON in Perfetto or
+# chrome://tracing.
+trace-demo:
+	PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) \
+		$(PYTHON) examples/trace_explorer.py --out jpeg_pipeline.trace.json
 
 all: install test bench examples
 

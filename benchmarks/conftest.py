@@ -9,6 +9,8 @@ where crossovers fall.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 
@@ -22,3 +24,21 @@ def print_table(title: str, rows, headers) -> None:
 @pytest.fixture
 def show():
     return print_table
+
+
+@pytest.fixture
+def trace_sink(request):
+    """An observability sink a bench can pass into instrumented runs.
+
+    Set ``REPRO_TRACE_DIR=<dir>`` to dump every bench's records as a
+    Chrome trace-event JSON (``<dir>/<test-name>.trace.json``) for
+    inspection in Perfetto; without it the sink stays in-memory only.
+    """
+    from repro.obs import TraceSink
+    sink = TraceSink()
+    yield sink
+    out_dir = os.environ.get("REPRO_TRACE_DIR")
+    if out_dir and sink.records:
+        os.makedirs(out_dir, exist_ok=True)
+        safe = request.node.name.replace("/", "_")
+        sink.write(os.path.join(out_dir, f"{safe}.trace.json"))

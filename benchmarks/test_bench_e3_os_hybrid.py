@@ -35,7 +35,7 @@ def workload():
     return apps
 
 
-def run_experiment():
+def run_experiment(sink=None):
     machine = Machine(N_CORES)
     results = {}
     results["time_shared"] = run_time_shared(machine, workload(),
@@ -44,12 +44,13 @@ def run_experiment():
                                                dispatch_overhead=0.05)
     results["hybrid"] = run_hybrid(machine, workload(), ts_cores=2,
                                    quantum=1.0, ctx_overhead=0.05,
-                                   dispatch_overhead=0.05)
+                                   dispatch_overhead=0.05, sink=sink)
     return results
 
 
-def test_bench_e3_os_hybrid(benchmark, show):
-    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+def test_bench_e3_os_hybrid(benchmark, show, trace_sink):
+    results = benchmark.pedantic(run_experiment, args=(trace_sink,),
+                                 rounds=1, iterations=1)
     rows = []
     for policy, outcome in results.items():
         rows.append([policy, outcome.rt_deadline_misses,

@@ -42,12 +42,13 @@ def summarize_speedups(curve: Dict[int, float]) -> Dict[str, float]:
 def crossover_point(curve_a: Dict[float, float],
                     curve_b: Dict[float, float]) -> float:
     """First x where curve_a stops beating curve_b (inf if it never
-    stops).  Both curves must share their x keys."""
+    stops), i.e. the first shared x with ``curve_a[x] <= curve_b[x]``.
+    Both curves must share their x keys."""
     shared = sorted(set(curve_a) & set(curve_b))
     if not shared:
         raise ValueError("curves share no x values")
     for x in shared:
-        if curve_a[x] >= curve_b[x]:
+        if curve_a[x] <= curve_b[x]:
             return x
     return float("inf")
 

@@ -31,6 +31,8 @@ from repro.desim.kernel import (
     Delay,
     Interrupted,
     Process,
+    ProcessFailed,
+    SimObserver,
     Simulator,
     WaitEvent,
     WaitProcess,
@@ -48,7 +50,9 @@ __all__ = [
     "Mutex",
     "PriorityResource",
     "Process",
+    "ProcessFailed",
     "Resource",
+    "SimObserver",
     "Signal",
     "Simulator",
     "WaitEvent",

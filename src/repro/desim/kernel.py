@@ -30,6 +30,45 @@ class Interrupted(Exception):
         self.cause = cause
 
 
+class ProcessFailed(Exception):
+    """Thrown into waiters of a process that terminated with an error.
+
+    A ``WaitProcess`` (or a wait on ``proc.done``) whose target dies from an
+    uncaught exception receives this instead of a silent ``None`` payload,
+    so failures propagate along wait chains rather than vanishing.
+    """
+
+    def __init__(self, process: "Process", error: BaseException) -> None:
+        super().__init__(f"process {process.name!r} failed: {error!r}")
+        self.process = process
+        self.error = error
+
+
+class SimObserver:
+    """Observer interface for kernel-level instrumentation.
+
+    Subclass and override any subset; the kernel invokes observers only
+    when at least one is installed, so an un-observed :class:`Simulator`
+    pays a single truthiness check per event and stays dependency-free.
+    """
+
+    def on_schedule(self, sim: "Simulator", item: "_ScheduledItem") -> None:
+        """A callback was pushed onto the event queue."""
+
+    def on_execute(self, sim: "Simulator", item: "_ScheduledItem") -> None:
+        """A queued callback just ran (``sim.now`` is its time)."""
+
+    def on_process_resume(self, sim: "Simulator", proc: "Process") -> None:
+        """A process is about to advance by one yield."""
+
+    def on_process_yield(self, sim: "Simulator", proc: "Process",
+                         request: Any) -> None:
+        """A process yielded ``request`` (Delay/WaitEvent/...)."""
+
+    def on_process_finish(self, sim: "Simulator", proc: "Process") -> None:
+        """A process terminated (``proc.error`` set on failure)."""
+
+
 @dataclass(frozen=True)
 class Delay:
     """Scheduling request: resume the process after ``duration`` time units."""
@@ -121,6 +160,9 @@ class _ScheduledItem:
     seq: int
     action: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    # Set once the item has been popped for execution, so a late cancel()
+    # cannot corrupt the simulator's live pending counter.
+    consumed: bool = field(default=False, compare=False)
 
 
 class Simulator:
@@ -137,6 +179,20 @@ class Simulator:
         self._running = False
         self.processes: List[Process] = []
         self.event_count = 0
+        # Live count of queued, non-cancelled items (pending is O(1)).
+        self._pending_count = 0
+        self._observers: List[SimObserver] = []
+
+    # ------------------------------------------------------------------
+    # observers
+    # ------------------------------------------------------------------
+    def add_observer(self, observer: SimObserver) -> SimObserver:
+        """Install a :class:`SimObserver`; returns it for chaining."""
+        self._observers.append(observer)
+        return observer
+
+    def remove_observer(self, observer: SimObserver) -> None:
+        self._observers.remove(observer)
 
     # ------------------------------------------------------------------
     # scheduling primitives
@@ -149,6 +205,10 @@ class Simulator:
         self._seq += 1
         item = _ScheduledItem(time, priority, self._seq, action)
         heapq.heappush(self._queue, item)
+        self._pending_count += 1
+        if self._observers:
+            for observer in self._observers:
+                observer.on_schedule(self, item)
         return item
 
     def after(self, delay: float, action: Callable[[], None],
@@ -157,7 +217,10 @@ class Simulator:
         return self.at(self.now + delay, action, priority)
 
     def cancel(self, item: _ScheduledItem) -> None:
+        if item.cancelled or item.consumed:
+            return
         item.cancelled = True
+        self._pending_count -= 1
 
     # ------------------------------------------------------------------
     # processes
@@ -187,11 +250,17 @@ class Simulator:
         proc._epoch += 1
         proc._waiting_on = None
         proc._resume_handle = None
+        if self._observers:
+            for observer in self._observers:
+                observer.on_process_resume(self, proc)
         try:
             if proc._pending_interrupt is not None:
                 exc = proc._pending_interrupt
                 proc._pending_interrupt = None
                 request = proc.body.throw(exc)
+            elif isinstance(value, ProcessFailed):
+                # The process we waited on died: re-throw its failure here.
+                request = proc.body.throw(value)
             else:
                 request = proc.body.send(value)
         except StopIteration as stop:
@@ -203,6 +272,9 @@ class Simulator:
         except BaseException as error:  # noqa: BLE001 - surfaced to waiters
             self._finish(proc, error=error)
             return
+        if self._observers:
+            for observer in self._observers:
+                observer.on_process_yield(self, proc, request)
         self._dispatch_request(proc, request)
 
     def _dispatch_request(self, proc: Process, request: Any) -> None:
@@ -213,7 +285,11 @@ class Simulator:
         elif isinstance(request, WaitProcess):
             target = request.process
             if not target.alive:
-                self._schedule_resume(proc, target.result)
+                if target.error is not None:
+                    self._schedule_resume(
+                        proc, ProcessFailed(target, target.error))
+                else:
+                    self._schedule_resume(proc, target.result)
             else:
                 self._wait_on_event(proc, target.done)
         elif isinstance(request, Event):
@@ -237,9 +313,16 @@ class Simulator:
         proc.alive = False
         proc.result = result
         proc.error = error
-        proc.done.trigger(result)
+        if self._observers:
+            for observer in self._observers:
+                observer.on_process_finish(self, proc)
         if error is not None:
+            # Waiters receive a ProcessFailed payload (thrown into them on
+            # resume) instead of a silent None, then the error surfaces out
+            # of run()/step() for the caller.
+            proc.done.trigger(ProcessFailed(proc, error))
             raise error
+        proc.done.trigger(result)
 
     def kill(self, proc: Process) -> None:
         """Terminate a process without delivering an exception into it."""
@@ -256,30 +339,44 @@ class Simulator:
     def run(self, until: Optional[float] = None,
             max_events: Optional[int] = None) -> float:
         """Run until the queue drains, ``until`` is reached, or the event
-        budget is exhausted.  Returns the final simulation time."""
+        budget is exhausted.  Returns the final simulation time.
+
+        If a process dies with an uncaught exception it is re-raised here,
+        with ``_running`` reset so the simulator stays usable: the caller
+        can catch the error and ``run()`` again to let ``WaitProcess``
+        waiters observe the :class:`ProcessFailed` payload.
+        """
         self._running = True
         budget = max_events
-        while self._queue and self._running:
-            item = self._queue[0]
-            if item.cancelled:
-                heapq.heappop(self._queue)
-                continue
-            if until is not None and item.time > until:
-                self.now = until
-                break
-            heapq.heappop(self._queue)
-            self.now = item.time
-            self.event_count += 1
-            item.action()
-            if budget is not None:
-                budget -= 1
-                if budget <= 0:
+        try:
+            while self._queue and self._running:
+                item = self._queue[0]
+                if item.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and item.time > until:
+                    self.now = until
                     break
-        else:
-            drained = not self._queue
-            if drained and self._running and until is not None and self.now < until:
-                self.now = until
-        self._running = False
+                heapq.heappop(self._queue)
+                item.consumed = True
+                self._pending_count -= 1
+                self.now = item.time
+                self.event_count += 1
+                item.action()
+                if self._observers:
+                    for observer in self._observers:
+                        observer.on_execute(self, item)
+                if budget is not None:
+                    budget -= 1
+                    if budget <= 0:
+                        break
+            else:
+                drained = not self._queue
+                if drained and self._running and until is not None \
+                        and self.now < until:
+                    self.now = until
+        finally:
+            self._running = False
         return self.now
 
     def step(self) -> bool:
@@ -293,9 +390,14 @@ class Simulator:
             item = heapq.heappop(self._queue)
             if item.cancelled:
                 continue
+            item.consumed = True
+            self._pending_count -= 1
             self.now = item.time
             self.event_count += 1
             item.action()
+            if self._observers:
+                for observer in self._observers:
+                    observer.on_execute(self, item)
             return True
         return False
 
@@ -305,15 +407,20 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        return sum(1 for item in self._queue if not item.cancelled)
+        """Number of queued, non-cancelled actions.  O(1): backed by a live
+        counter (the debugger polls this between every kernel event)."""
+        return self._pending_count
 
     def peek_time(self) -> Optional[float]:
-        """Time of the next non-cancelled action, or None."""
-        for item in sorted(self._queue):
-            if not item.cancelled:
-                return item.time
-        return None
+        """Time of the next non-cancelled action, or None.
+
+        Lazily discards cancelled items from the heap top instead of
+        sorting the whole queue.
+        """
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0].time if self._queue else None
 
 
-__all__ = ["Delay", "Interrupted", "Process", "Simulator", "WaitEvent",
-           "WaitProcess"]
+__all__ = ["Delay", "Interrupted", "Process", "ProcessFailed", "SimObserver",
+           "Simulator", "WaitEvent", "WaitProcess"]

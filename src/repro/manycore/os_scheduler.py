@@ -27,6 +27,8 @@ from typing import Deque, List, Optional, Sequence
 
 from repro.desim import Delay, Event, Simulator, WaitEvent
 from repro.manycore.machine import Core, Machine
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import TraceSink
 
 
 @dataclass
@@ -100,12 +102,19 @@ class AppResult:
 
 @dataclass
 class ScheduleOutcome:
-    """Aggregate result of one scheduling-policy run."""
+    """Aggregate result of one scheduling-policy run.
+
+    ``metrics`` is the run's :class:`~repro.obs.MetricsRegistry`
+    (context switches, migrations, ready-queue high-water mark, response
+    time histogram); the scalar fields below are kept as convenience
+    views of the same data.
+    """
 
     policy: str
     results: List[AppResult] = field(default_factory=list)
     makespan: float = 0.0
     context_switches: int = 0
+    metrics: Optional[MetricsRegistry] = None
 
     @property
     def deadline_misses(self) -> int:
@@ -141,6 +150,7 @@ class _Thread:
         self.index = index
         self.remaining = work
         self.isa = isa
+        self.last_core: Optional[int] = None  # migration detection
 
 
 class _AppState:
@@ -161,6 +171,10 @@ def _record(outcome: ScheduleOutcome, state: _AppState, now: float) -> None:
                                      spec.deadline, spec.rt, spec.threads))
     if now != float("inf"):
         outcome.makespan = max(outcome.makespan, now)
+        if outcome.metrics is not None:
+            outcome.metrics.counter("os.completions").inc()
+            outcome.metrics.histogram("os.response_time").observe(
+                now - spec.arrival)
 
 
 # ---------------------------------------------------------------------------
@@ -169,13 +183,30 @@ def _record(outcome: ScheduleOutcome, state: _AppState, now: float) -> None:
 
 def run_time_shared(machine: Machine, apps: Sequence[AppSpec],
                     quantum: float = 1.0,
-                    ctx_overhead: float = 0.01) -> ScheduleOutcome:
-    """Global round-robin over all cores with a fixed quantum."""
+                    ctx_overhead: float = 0.01,
+                    sink: Optional[TraceSink] = None,
+                    metrics: Optional[MetricsRegistry] = None) -> ScheduleOutcome:
+    """Global round-robin over all cores with a fixed quantum.
+
+    With a ``sink`` installed every executed time slice becomes a span on
+    the ``os/core<N>`` track and the ready-queue depth a counter series;
+    ``metrics`` (created if omitted) accumulates context switches,
+    migrations and the ready-queue high-water mark.
+    """
     sim = Simulator()
-    outcome = ScheduleOutcome("time_shared")
+    metrics = metrics if metrics is not None else MetricsRegistry()
+    outcome = ScheduleOutcome("time_shared", metrics=metrics)
     ready: Deque[_Thread] = deque()
     work_event = Event("work")
     remaining_apps = len(apps)
+    ready_gauge = metrics.gauge("os.ready_depth")
+    switch_counter = metrics.counter("os.context_switches")
+    migration_counter = metrics.counter("os.migrations")
+
+    def note_ready_depth() -> None:
+        ready_gauge.set(len(ready))
+        if sink is not None:
+            sink.counter("ready_depth", len(ready), track="os", ts=sim.now)
 
     def arrival_proc(spec: AppSpec):
         if spec.arrival > 0:
@@ -183,6 +214,7 @@ def run_time_shared(machine: Machine, apps: Sequence[AppSpec],
         state = _AppState(spec)
         for thread in state.make_threads():
             ready.append(thread)
+        note_ready_depth()
         work_event.trigger(None)
 
     def core_proc(core: Core):
@@ -192,9 +224,20 @@ def run_time_shared(machine: Machine, apps: Sequence[AppSpec],
             if thread is None:
                 yield WaitEvent(work_event)
                 continue
+            note_ready_depth()
+            if thread.last_core is not None and \
+                    thread.last_core != core.core_id:
+                migration_counter.inc()
+            thread.last_core = core.core_id
             slice_work = min(quantum * core.freq, thread.remaining)
             duration = slice_work / core.freq + ctx_overhead
             outcome.context_switches += 1
+            switch_counter.inc()
+            if sink is not None:
+                sink.complete(
+                    f"{thread.app.spec.name}.t{thread.index}",
+                    ts=sim.now, dur=duration,
+                    track=f"os/core{core.core_id}")
             yield Delay(duration)
             thread.remaining -= slice_work
             if thread.remaining <= 1e-12:
@@ -205,6 +248,7 @@ def run_time_shared(machine: Machine, apps: Sequence[AppSpec],
                     work_event.trigger(None)  # wake idle cores to re-check exit
             else:
                 ready.append(thread)
+                note_ready_depth()
                 work_event.trigger(None)
 
     for spec in apps:
@@ -258,19 +302,31 @@ def _pop_matching(ready: Deque[_Thread], isa: str) -> Optional[_Thread]:
 # ---------------------------------------------------------------------------
 
 def run_space_shared(machine: Machine, apps: Sequence[AppSpec],
-                     dispatch_overhead: float = 0.01) -> ScheduleOutcome:
+                     dispatch_overhead: float = 0.01,
+                     sink: Optional[TraceSink] = None,
+                     metrics: Optional[MetricsRegistry] = None) -> ScheduleOutcome:
     """Dedicated-core gang allocation; waiting apps served EDF-first."""
     sim = Simulator()
-    outcome = ScheduleOutcome("space_shared")
+    metrics = metrics if metrics is not None else MetricsRegistry()
+    outcome = ScheduleOutcome("space_shared", metrics=metrics)
     free_cores: List[Core] = list(machine.cores)
     waiting: List[_AppState] = []
     change = Event("change")
     remaining_apps = len(apps)
+    waiting_gauge = metrics.gauge("os.waiting_apps")
+    dispatch_counter = metrics.counter("os.context_switches")
+
+    def note_waiting() -> None:
+        waiting_gauge.set(len(waiting))
+        if sink is not None:
+            sink.counter("waiting_apps", len(waiting), track="os",
+                         ts=sim.now)
 
     def arrival_proc(spec: AppSpec):
         if spec.arrival > 0:
             yield Delay(spec.arrival)
         waiting.append(_AppState(spec))
+        note_waiting()
         change.trigger(None)
 
     def _edf_key(state: _AppState):
@@ -284,12 +340,18 @@ def run_space_shared(machine: Machine, apps: Sequence[AppSpec],
             chosen = _pick_cores(free_cores, state.spec)
             if chosen is not None:
                 waiting.remove(state)
+                note_waiting()
                 return state, chosen
         return None
 
     def thread_proc(state: _AppState, thread: _Thread, core: Core):
         nonlocal remaining_apps
-        yield Delay(dispatch_overhead + thread.remaining / core.freq)
+        duration = dispatch_overhead + thread.remaining / core.freq
+        if sink is not None:
+            sink.complete(f"{state.spec.name}.t{thread.index}",
+                          ts=sim.now, dur=duration,
+                          track=f"os/core{core.core_id}")
+        yield Delay(duration)
         state.unfinished -= 1
         free_cores.append(core)
         if state.unfinished == 0:
@@ -308,6 +370,7 @@ def run_space_shared(machine: Machine, apps: Sequence[AppSpec],
                 sim.spawn(thread_proc(state, thread, core),
                           name=f"{state.spec.name}.t{thread.index}")
             outcome.context_switches += len(chosen)
+            dispatch_counter.inc(len(chosen))
 
     for spec in apps:
         sim.spawn(arrival_proc(spec), name=f"arrive.{spec.name}")
@@ -347,7 +410,9 @@ def _pick_cores(free_cores: List[Core], spec: AppSpec) -> Optional[List[Core]]:
 def run_hybrid(machine: Machine, apps: Sequence[AppSpec],
                ts_cores: int = 1, quantum: float = 1.0,
                ctx_overhead: float = 0.01,
-               dispatch_overhead: float = 0.01) -> ScheduleOutcome:
+               dispatch_overhead: float = 0.01,
+               sink: Optional[TraceSink] = None,
+               metrics: Optional[MetricsRegistry] = None) -> ScheduleOutcome:
     """Hybrid policy: ``ts_cores`` cores round-robin the sequential apps,
     the remaining cores are gang-allocated (EDF) to parallel apps.
 
@@ -362,9 +427,12 @@ def run_hybrid(machine: Machine, apps: Sequence[AppSpec],
     ts_machine = Machine(ts_cores, cores=machine.cores[:ts_cores])
     ss_machine = Machine(machine.n_cores - ts_cores,
                          cores=machine.cores[ts_cores:])
-    ts_outcome = run_time_shared(ts_machine, sequential, quantum, ctx_overhead)
-    ss_outcome = run_space_shared(ss_machine, parallel, dispatch_overhead)
-    merged = ScheduleOutcome("hybrid")
+    metrics = metrics if metrics is not None else MetricsRegistry()
+    ts_outcome = run_time_shared(ts_machine, sequential, quantum,
+                                 ctx_overhead, sink=sink, metrics=metrics)
+    ss_outcome = run_space_shared(ss_machine, parallel, dispatch_overhead,
+                                  sink=sink, metrics=metrics)
+    merged = ScheduleOutcome("hybrid", metrics=metrics)
     merged.results = ts_outcome.results + ss_outcome.results
     merged.makespan = max(ts_outcome.makespan, ss_outcome.makespan)
     merged.context_switches = (ts_outcome.context_switches +

@@ -12,6 +12,8 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.cir.interp import run_program
+from repro.desim import Simulator
+from repro.obs.trace import NullSink, TraceSink
 from repro.cir.nodes import Program
 from repro.cir.parser import parse
 from repro.maps.codegen import generate_data_parallel_code, render_pe_sources
@@ -50,10 +52,27 @@ class FlowReport:
 
 
 class MapsFlow:
-    """Driver object mirroring Figure 1."""
+    """Driver object mirroring Figure 1.
 
-    def __init__(self, platform: PlatformSpec) -> None:
+    With a :class:`~repro.obs.TraceSink` every phase of the flow becomes
+    a span on the ``maps.flow`` track (host-clock microseconds), and the
+    MVP simulations run under a kernel probe, so one dump shows the
+    application phases, the simulated tasks and the kernel itself.
+    """
+
+    def __init__(self, platform: PlatformSpec,
+                 sink: Optional[TraceSink] = None) -> None:
         self.platform = platform
+        self.sink = sink if sink is not None else NullSink()
+
+    def _observed_sim(self) -> Optional[Simulator]:
+        """A kernel-probed simulator for MVP runs (None when untraced)."""
+        if isinstance(self.sink, NullSink):
+            return None
+        from repro.obs.probe import observe
+        sim = Simulator()
+        observe(sim, sink=self.sink)
+        return sim
 
     def run(self, source_or_program, entry: str = "main",
             split_k: Optional[int] = None,
@@ -72,63 +91,73 @@ class MapsFlow:
         searches for a better assignment, the candidate is re-exercised,
         and the better of the two (by simulated makespan) is kept.
         """
+        sink = self.sink
         annotation = None
-        if isinstance(source_or_program, Program):
-            program = source_or_program
-        else:
-            program = parse(source_or_program)
-            # Lightweight C extensions: "// @maps pe=dsp period=..." lines
-            # annotate the functions they precede (section IV).
-            from repro.maps.annotations import parse_annotations
-            annotation = parse_annotations(source_or_program).get(entry)
+        with sink.span("parse", track="maps.flow", app=app_name):
+            if isinstance(source_or_program, Program):
+                program = source_or_program
+            else:
+                program = parse(source_or_program)
+                # Lightweight C extensions: "// @maps pe=dsp period=..."
+                # lines annotate the functions they precede (section IV).
+                from repro.maps.annotations import parse_annotations
+                annotation = parse_annotations(source_or_program).get(entry)
         split_k = split_k or len(self.platform.pes)
 
         # 1. dataflow analysis + partitioning.
-        partition = partition_function(program, entry)
-        if annotation is not None and annotation.preferred_pe is not None:
-            for node in partition.task_graph.nodes.values():
-                node.preferred_pe = annotation.preferred_pe
+        with sink.span("partition", track="maps.flow", app=app_name):
+            partition = partition_function(program, entry)
+            if annotation is not None and annotation.preferred_pe is not None:
+                for node in partition.task_graph.nodes.values():
+                    node.preferred_pe = annotation.preferred_pe
 
         # 2. data-parallel expansion of every parallelizable loop.
-        expanded = partition.task_graph
-        for task_name in partition.parallelizable_tasks:
-            staged = PartitionResult(expanded, partition.clusters,
-                                     partition.loop_infos,
-                                     partition.parallelizable_tasks,
-                                     program, entry)
-            expanded = partition_data_parallel(staged, task_name, split_k)
+        with sink.span("expand", track="maps.flow", app=app_name):
+            expanded = partition.task_graph
+            for task_name in partition.parallelizable_tasks:
+                staged = PartitionResult(expanded, partition.clusters,
+                                         partition.loop_infos,
+                                         partition.parallelizable_tasks,
+                                         program, entry)
+                expanded = partition_data_parallel(staged, task_name, split_k)
 
         # 3. mapping (HEFT list scheduling).
-        mapping = map_task_graph(expanded, self.platform)
+        with sink.span("map", track="maps.flow", app=app_name):
+            mapping = map_task_graph(expanded, self.platform)
 
         # 4. MVP simulation (+ optional Figure-1 refinement loop).
-        mvp = simulate_mapping(
-            [AppRun(app_name, mapping, iterations=iterations)],
-            self.platform)
+        with sink.span("mvp_simulate", track="maps.flow", app=app_name):
+            mvp = simulate_mapping(
+                [AppRun(app_name, mapping, iterations=iterations)],
+                self.platform, sim=self._observed_sim())
         if refine:
-            from repro.maps.annealing import map_task_graph_annealing
-            candidate = map_task_graph_annealing(
-                expanded, self.platform, iterations=refine_iterations,
-                seed=1, initial=dict(mapping.assignment)).best
-            candidate_mvp = simulate_mapping(
-                [AppRun(app_name, candidate, iterations=iterations)],
-                self.platform)
-            if candidate_mvp.makespan < mvp.makespan:
-                mapping, mvp = candidate, candidate_mvp
+            with sink.span("refine", track="maps.flow", app=app_name):
+                from repro.maps.annealing import map_task_graph_annealing
+                candidate = map_task_graph_annealing(
+                    expanded, self.platform, iterations=refine_iterations,
+                    seed=1, initial=dict(mapping.assignment)).best
+                candidate_mvp = simulate_mapping(
+                    [AppRun(app_name, candidate, iterations=iterations)],
+                    self.platform, sim=self._observed_sim())
+                if candidate_mvp.makespan < mvp.makespan:
+                    mapping, mvp = candidate, candidate_mvp
 
         # 5. code generation + per-PE sources.
-        generated, gen_entry = generate_data_parallel_code(
-            PartitionResult(expanded, partition.clusters,
-                            partition.loop_infos,
-                            partition.parallelizable_tasks, program, entry),
-            expanded)
-        pe_sources = render_pe_sources(partition, expanded, mapping)
+        with sink.span("codegen", track="maps.flow", app=app_name):
+            generated, gen_entry = generate_data_parallel_code(
+                PartitionResult(expanded, partition.clusters,
+                                partition.loop_infos,
+                                partition.parallelizable_tasks, program,
+                                entry),
+                expanded)
+            pe_sources = render_pe_sources(partition, expanded, mapping)
 
         # 6. semantic validation: generated parallel code vs original.
-        sequential = run_program(program, entry=entry)
-        parallel = run_program(generated, entry=gen_entry)
-        preserved = (sequential.return_value == parallel.return_value
-                     and sequential.output == parallel.output)
+        with sink.span("validate", track="maps.flow", app=app_name):
+            sequential = run_program(program, entry=entry)
+            parallel = run_program(generated, entry=gen_entry)
+            preserved = (sequential.return_value == parallel.return_value
+                         and sequential.output == parallel.output)
 
         sequential_cost = partition.task_graph.total_cost()
         estimated = sequential_cost / max(mapping.makespan, 1e-9)

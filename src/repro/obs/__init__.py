@@ -1,0 +1,33 @@
+"""Unified observability layer (paper section VII).
+
+One sink, three record shapes (spans, instants, counters), every layer:
+
+- :class:`TraceSink` -- in-memory trace store + Chrome trace-event JSON
+  export (open the dump in Perfetto or ``chrome://tracing``);
+- :class:`MetricsRegistry` -- counters, gauges and fixed-bucket
+  histograms replacing ad-hoc stat dicts;
+- :class:`KernelProbe` / :func:`observe` -- profiling hooks on the desim
+  kernel via its observer interface (queue depth, events/sec, dwell
+  times) with zero cost when nothing is attached.
+
+See DESIGN.md ("Observability layer") for the wiring of each layer.
+"""
+
+from repro.obs.metrics import (
+    Counter, DEFAULT_BUCKETS, Gauge, Histogram, MetricsRegistry,
+)
+from repro.obs.probe import KernelProbe, observe
+from repro.obs.trace import NullSink, TraceRecord, TraceSink
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "KernelProbe",
+    "MetricsRegistry",
+    "NullSink",
+    "TraceRecord",
+    "TraceSink",
+    "observe",
+]

@@ -1,0 +1,173 @@
+"""Metrics registry: counters, gauges and fixed-bucket histograms.
+
+Replaces the ad-hoc stat dicts scattered through the OS scheduler, the
+real-time executives and the MAPS flow with one queryable registry.  All
+instruments are cheap enough to update on hot simulation paths (integer
+adds and one bisect per histogram observation).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Dict, List, Optional, Sequence
+
+DEFAULT_BUCKETS = (1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0,
+                   1000.0, 2500.0, 5000.0, 10000.0)
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r}: negative increment")
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, {self.value})"
+
+
+class Gauge:
+    """A value that goes up and down; tracks its high-water mark."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+        self.max_value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        if value > self.max_value:
+            self.max_value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.set(self.value + amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.set(self.value - amount)
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, {self.value}, max={self.max_value})"
+
+
+class Histogram:
+    """Fixed-bucket histogram with percentile estimates.
+
+    ``buckets`` are inclusive upper bounds; an implicit +inf bucket
+    catches the tail.  Percentiles are estimated as the upper bound of
+    the bucket containing the requested rank -- the standard
+    fixed-bucket trade-off (bounded memory, bounded error).
+    """
+
+    def __init__(self, name: str,
+                 buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ValueError(f"histogram {name!r}: buckets must be "
+                             f"non-empty and ascending")
+        self.name = name
+        self.buckets = list(buckets)
+        self.counts = [0] * (len(self.buckets) + 1)  # +1 = +inf overflow
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        index = bisect_left(self.buckets, value)
+        self.counts[index] += 1
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Estimated value at percentile ``p`` in [0, 100]."""
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile {p} outside [0, 100]")
+        if self.count == 0:
+            return 0.0
+        rank = p / 100.0 * self.count
+        seen = 0
+        for index, bucket_count in enumerate(self.counts):
+            seen += bucket_count
+            if seen >= rank and bucket_count:
+                if index < len(self.buckets):
+                    return self.buckets[index]
+                return self.max if self.max is not None else float("inf")
+        return self.max if self.max is not None else 0.0
+
+    def __repr__(self) -> str:
+        return (f"Histogram({self.name!r}, n={self.count}, "
+                f"mean={self.mean:.3g}, p95={self.percentile(95):.3g})")
+
+
+class MetricsRegistry:
+    """Get-or-create home for all instruments of one run/subsystem."""
+
+    def __init__(self, prefix: str = "") -> None:
+        self.prefix = prefix
+        self._instruments: Dict[str, Any] = {}
+
+    def _key(self, name: str) -> str:
+        return f"{self.prefix}{name}" if self.prefix else name
+
+    def _get(self, name: str, factory, kind) -> Any:
+        key = self._key(name)
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = factory(key)
+            self._instruments[key] = instrument
+        elif not isinstance(instrument, kind):
+            raise TypeError(f"metric {key!r} already registered as "
+                            f"{type(instrument).__name__}")
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge, Gauge)
+
+    def histogram(self, name: str,
+                  buckets: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
+        return self._get(name, lambda key: Histogram(key, buckets), Histogram)
+
+    def names(self) -> List[str]:
+        return sorted(self._instruments)
+
+    def get(self, name: str) -> Optional[Any]:
+        return self._instruments.get(self._key(name))
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A plain-dict view of every instrument (for reports/tests)."""
+        out: Dict[str, Any] = {}
+        for name in self.names():
+            instrument = self._instruments[name]
+            if isinstance(instrument, Counter):
+                out[name] = instrument.value
+            elif isinstance(instrument, Gauge):
+                out[name] = {"value": instrument.value,
+                             "max": instrument.max_value}
+            else:
+                out[name] = {"count": instrument.count,
+                             "mean": instrument.mean,
+                             "min": instrument.min,
+                             "max": instrument.max,
+                             "p50": instrument.percentile(50),
+                             "p95": instrument.percentile(95),
+                             "p99": instrument.percentile(99)}
+        return out
+
+
+__all__ = ["Counter", "DEFAULT_BUCKETS", "Gauge", "Histogram",
+           "MetricsRegistry"]

@@ -1,0 +1,236 @@
+"""Unified trace sink: spans, instants and counters across every layer.
+
+The paper's section VII argues the decisive advantage of a virtual
+platform is observability -- "a history of function execution within the
+different processes, and their access to memories and peripherals" with
+zero perturbation.  :class:`TraceSink` is that history as a first-class
+subsystem: the desim kernel, the virtual platform tracer, the many-core
+OS scheduler, the real-time executives and the MAPS flow all emit into
+one sink, which exports Chrome trace-event JSON (loadable in Perfetto or
+``chrome://tracing``) and answers in-memory queries.
+
+Records live on named *tracks* ("kernel", "os/core0", "maps.flow", ...),
+one Chrome thread per track.  Three record shapes:
+
+- **instant** (``ph='i'``)  -- a point event (bus access, irq edge);
+- **span**    (``ph='X'``)  -- a named duration (a time slice, a flow
+  phase, a process occupying the kernel for ``Delay(d)``);
+- **counter** (``ph='C'``)  -- a sampled numeric series (queue depth,
+  ready-queue length, FIFO occupancy).
+
+Timestamps default to the sink's clock (host ``perf_counter`` in
+microseconds since sink creation); simulation-side emitters pass their
+simulated time explicitly, so a track is always self-consistent.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+
+@dataclass
+class TraceRecord:
+    """One emitted record (Chrome trace-event phases 'X', 'i' or 'C')."""
+
+    name: str
+    ph: str
+    ts: float
+    track: str = "main"
+    dur: Optional[float] = None
+    args: Dict[str, Any] = field(default_factory=dict)
+
+    def __repr__(self) -> str:
+        dur = f" dur={self.dur}" if self.dur is not None else ""
+        return (f"[{self.ts:>10.2f}] {self.track:<12} {self.ph} "
+                f"{self.name}{dur} {self.args}")
+
+
+class _OpenSpan:
+    __slots__ = ("name", "ts", "args")
+
+    def __init__(self, name: str, ts: float, args: Dict[str, Any]) -> None:
+        self.name = name
+        self.ts = ts
+        self.args = args
+
+
+class TraceSink:
+    """In-memory trace store with Chrome trace-event export.
+
+    ``clock`` supplies default timestamps for host-side emitters (the
+    MAPS flow phases); anything running on a :class:`~repro.desim.Simulator`
+    passes ``ts=sim.now`` explicitly instead.
+    """
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None) -> None:
+        if clock is None:
+            origin = time.perf_counter()
+            clock = lambda: (time.perf_counter() - origin) * 1e6  # noqa: E731
+        self._clock = clock
+        self.records: List[TraceRecord] = []
+        self._open: Dict[str, List[_OpenSpan]] = {}
+        self._track_order: List[str] = []
+
+    # ------------------------------------------------------------------
+    # emission
+    # ------------------------------------------------------------------
+    def _ts(self, ts: Optional[float]) -> float:
+        return self._clock() if ts is None else ts
+
+    def _touch_track(self, track: str) -> None:
+        if track not in self._open:
+            self._open[track] = []
+            self._track_order.append(track)
+
+    def instant(self, name: str, track: str = "main",
+                ts: Optional[float] = None, **args: Any) -> TraceRecord:
+        """Record a point event."""
+        self._touch_track(track)
+        record = TraceRecord(name, "i", self._ts(ts), track, args=args)
+        self.records.append(record)
+        return record
+
+    def complete(self, name: str, ts: float, dur: float,
+                 track: str = "main", **args: Any) -> TraceRecord:
+        """Record a span whose start and duration are already known."""
+        self._touch_track(track)
+        record = TraceRecord(name, "X", ts, track, dur=dur, args=args)
+        self.records.append(record)
+        return record
+
+    def begin(self, name: str, track: str = "main",
+              ts: Optional[float] = None, **args: Any) -> None:
+        """Open a span on ``track``; close it with :meth:`end` (LIFO)."""
+        self._touch_track(track)
+        self._open[track].append(_OpenSpan(name, self._ts(ts), args))
+
+    def end(self, track: str = "main",
+            ts: Optional[float] = None) -> Optional[TraceRecord]:
+        """Close the innermost open span on ``track``.
+
+        Unbalanced ends are ignored (a ``ret`` without a traced ``jal``).
+        """
+        stack = self._open.get(track)
+        if not stack:
+            return None
+        span = stack.pop()
+        end_ts = self._ts(ts)
+        return self.complete(span.name, span.ts, max(0.0, end_ts - span.ts),
+                             track, **span.args)
+
+    @contextmanager
+    def span(self, name: str, track: str = "main",
+             ts: Optional[float] = None, **args: Any) -> Iterator[None]:
+        """Context manager: a span covering the ``with`` body."""
+        self.begin(name, track, ts, **args)
+        try:
+            yield
+        finally:
+            self.end(track)
+
+    def counter(self, name: str, value: float, track: str = "counters",
+                ts: Optional[float] = None) -> TraceRecord:
+        """Record one sample of a numeric series."""
+        self._touch_track(track)
+        record = TraceRecord(name, "C", self._ts(ts), track,
+                             args={"value": value})
+        self.records.append(record)
+        return record
+
+    # ------------------------------------------------------------------
+    # in-memory query API
+    # ------------------------------------------------------------------
+    def tracks(self) -> List[str]:
+        """Track names in first-emission order."""
+        return list(self._track_order)
+
+    def _filter(self, ph: str, track: Optional[str],
+                name: Optional[str]) -> List[TraceRecord]:
+        return [r for r in self.records if r.ph == ph
+                and (track is None or r.track == track)
+                and (name is None or r.name == name)]
+
+    def spans(self, track: Optional[str] = None,
+              name: Optional[str] = None) -> List[TraceRecord]:
+        return self._filter("X", track, name)
+
+    def instants(self, track: Optional[str] = None,
+                 name: Optional[str] = None) -> List[TraceRecord]:
+        return self._filter("i", track, name)
+
+    def counter_series(self, name: str,
+                       track: Optional[str] = None) -> List[Tuple[float, float]]:
+        """The sampled (ts, value) series of one counter."""
+        return [(r.ts, r.args["value"])
+                for r in self._filter("C", track, name)]
+
+    def total_duration(self, track: Optional[str] = None,
+                       name: Optional[str] = None) -> float:
+        """Summed duration of matching spans (a poor man's profile)."""
+        return sum(r.dur or 0.0 for r in self.spans(track, name))
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # ------------------------------------------------------------------
+    # Chrome trace-event export
+    # ------------------------------------------------------------------
+    def to_chrome(self) -> Dict[str, Any]:
+        """Export as a Chrome trace-event JSON object.
+
+        One process (pid 1), one thread per track, with thread-name
+        metadata so Perfetto labels the rows.  Events are sorted by
+        timestamp so every track is monotonic.
+        """
+        tids = {track: tid for tid, track in
+                enumerate(self._track_order, start=1)}
+        events: List[Dict[str, Any]] = []
+        for track, tid in tids.items():
+            events.append({"name": "thread_name", "ph": "M", "pid": 1,
+                           "tid": tid, "args": {"name": track}})
+        for record in sorted(self.records, key=lambda r: r.ts):
+            event: Dict[str, Any] = {
+                "name": record.name, "ph": record.ph, "ts": record.ts,
+                "pid": 1, "tid": tids[record.track], "cat": record.track,
+                "args": dict(record.args),
+            }
+            if record.ph == "X":
+                event["dur"] = record.dur or 0.0
+            events.append(event)
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def write(self, path: str) -> str:
+        """Write the Chrome trace JSON to ``path`` and return the path."""
+        with open(path, "w") as handle:
+            json.dump(self.to_chrome(), handle, indent=1)
+        return path
+
+
+class NullSink:
+    """API-compatible sink that drops everything (for overhead baselines)."""
+
+    def instant(self, *args: Any, **kwargs: Any) -> None:
+        return None
+
+    def complete(self, *args: Any, **kwargs: Any) -> None:
+        return None
+
+    def begin(self, *args: Any, **kwargs: Any) -> None:
+        return None
+
+    def end(self, *args: Any, **kwargs: Any) -> None:
+        return None
+
+    @contextmanager
+    def span(self, *args: Any, **kwargs: Any) -> Iterator[None]:
+        yield
+
+    def counter(self, *args: Any, **kwargs: Any) -> None:
+        return None
+
+
+__all__ = ["NullSink", "TraceRecord", "TraceSink"]

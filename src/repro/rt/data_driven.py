@@ -18,9 +18,11 @@ robust to corruption".
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.desim import Delay, Fifo, Simulator
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import TraceSink
 from repro.rt.pipeline import DeliveredItem, PipelineSpec
 
 
@@ -35,6 +37,9 @@ class DataDrivenResult:
     duplicates: int = 0          # internal corruption (must stay 0)
     jobs_run: int = 0
     fifo_occupancy: Dict[str, int] = field(default_factory=dict)
+    # Observability registry: per-stage firings, execution-time histograms
+    # and boundary-corruption counters.
+    metrics: Optional[MetricsRegistry] = None
 
     @property
     def internal_corruptions(self) -> int:
@@ -50,20 +55,37 @@ class DataDrivenResult:
 
 
 def run_data_driven(spec: PipelineSpec, jobs: int,
-                    fifo_capacity: int = 2) -> DataDrivenResult:
+                    fifo_capacity: int = 2,
+                    sink: Optional[TraceSink] = None,
+                    metrics: Optional[MetricsRegistry] = None) -> DataDrivenResult:
     """Execute ``jobs`` pipeline iterations under the data-driven executive.
 
     ``fifo_capacity`` is the per-edge buffer capacity computed at design
     time (see :mod:`repro.dataflow.buffer_sizing`); small capacities trade
     more source-boundary drops for less memory, but never internal
     corruption.
+
+    With a ``sink`` each stage firing becomes a span on the ``rt/<stage>``
+    track and each sink miss an instant; ``metrics`` accumulates firings
+    and execution-time histograms.
     """
     spec.validate()
     sim = Simulator()
-    result = DataDrivenResult()
+    metrics = metrics if metrics is not None else MetricsRegistry()
+    result = DataDrivenResult(metrics=metrics)
     stage_count = len(spec.stages)
     fifos = [Fifo(capacity=fifo_capacity, name=f"q{k}")
              for k in range(stage_count - 1)]
+
+    def fire(stage, job: int) -> float:
+        """Account one stage firing; returns its execution time."""
+        execution = stage.execution_time(job)
+        metrics.counter(f"dd.{stage.name}.firings").inc()
+        metrics.histogram(f"dd.{stage.name}.exec_time").observe(execution)
+        if sink is not None:
+            sink.complete(f"{stage.name}#{job}", ts=sim.now, dur=execution,
+                          track=f"rt/{stage.name}")
+        return execution
 
     def source_process():
         stage = spec.stages[0]
@@ -71,7 +93,7 @@ def run_data_driven(spec: PipelineSpec, jobs: int,
             trigger = job * spec.period
             if trigger > sim.now:
                 yield Delay(trigger - sim.now)
-            yield Delay(stage.execution_time(job))
+            yield Delay(fire(stage, job))
             if stage_count == 1:
                 result.delivered.append(DeliveredItem(job, job, sim.now))
                 continue
@@ -93,7 +115,7 @@ def run_data_driven(spec: PipelineSpec, jobs: int,
             elif value < expected_min:
                 result.out_of_order += 1
             expected_min = max(expected_min, value)
-            yield Delay(stage.execution_time(job))
+            yield Delay(fire(stage, job))
             job += 1
             if outbox is not None:
                 yield from outbox.put(value)  # blocking: back-pressure
@@ -116,13 +138,17 @@ def run_data_driven(spec: PipelineSpec, jobs: int,
                 yield Delay(trigger - sim.now)
             if inbox.empty:
                 result.sink_misses += 1
+                metrics.counter("dd.sink_misses").inc()
+                if sink is not None:
+                    sink.instant("sink_miss", track=f"rt/{stage.name}",
+                                 ts=sim.now, job=job)
                 result.delivered.append(DeliveredItem(job, None, sim.now))
             else:
                 value = inbox.get_nowait()
                 if value <= last_seen:
                     result.duplicates += 1
                 last_seen = value
-                yield Delay(stage.execution_time(job))
+                yield Delay(fire(stage, job))
                 result.delivered.append(DeliveredItem(job, value, sim.now))
             job += 1
 
@@ -135,6 +161,10 @@ def run_data_driven(spec: PipelineSpec, jobs: int,
 
     result.source_drops = fifos[0].overwrites if fifos else 0
     result.fifo_occupancy = {f.name: f.max_occupancy for f in fifos}
+    metrics.counter("dd.source_drops").inc(result.source_drops)
+    for fifo in fifos:
+        metrics.gauge(f"dd.fifo.{fifo.name}.max_occupancy").set(
+            fifo.max_occupancy)
     # Kill any still-blocked workers (drained pipeline).
     return result
 

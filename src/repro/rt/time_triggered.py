@@ -25,6 +25,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.desim import Delay, Simulator
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import TraceSink
 from repro.rt.pipeline import DeliveredItem, PipelineSpec
 
 
@@ -59,6 +61,9 @@ class TimeTriggeredResult:
     stale_reads_by_stage: Dict[str, int] = field(default_factory=dict)
     jobs_run: int = 0
     schedule_offsets: Dict[str, float] = field(default_factory=dict)
+    # Observability registry: per-stage firings, slot overruns (actual
+    # execution time exceeded the WCET estimate), execution-time histogram.
+    metrics: Optional[MetricsRegistry] = None
 
     @property
     def internal_corruptions(self) -> int:
@@ -93,16 +98,25 @@ def compute_offsets(spec: PipelineSpec,
     return offsets
 
 
-def run_time_triggered(spec: PipelineSpec, jobs: int) -> TimeTriggeredResult:
+def run_time_triggered(spec: PipelineSpec, jobs: int,
+                       sink: Optional[TraceSink] = None,
+                       metrics: Optional[MetricsRegistry] = None) -> TimeTriggeredResult:
     """Execute ``jobs`` pipeline iterations under the time-triggered
-    executive and report delivery/corruption statistics."""
+    executive and report delivery/corruption statistics.
+
+    With a ``sink`` each stage execution becomes a span on the
+    ``rt/<stage>`` track and every stale read an instant; ``metrics``
+    accumulates firings, slot overruns and execution-time histograms.
+    """
     spec.validate()
     if sum(stage.wcet_estimate for stage in spec.stages) > spec.period:
         raise ValueError(
             "design-time schedule infeasible: estimated WCETs exceed period")
     sim = Simulator()
     offsets = compute_offsets(spec)
-    result = TimeTriggeredResult(schedule_offsets=dict(offsets))
+    metrics = metrics if metrics is not None else MetricsRegistry()
+    result = TimeTriggeredResult(schedule_offsets=dict(offsets),
+                                 metrics=metrics)
     result.stale_reads_by_stage = {s.name: 0 for s in spec.stages}
 
     stage_count = len(spec.stages)
@@ -126,7 +140,20 @@ def run_time_triggered(spec: PipelineSpec, jobs: int) -> TimeTriggeredResult:
                 if seq != job:
                     result.stale_reads_by_stage[stage.name] += 1
                     result.duplicates_internal += 1
-            yield Delay(stage.execution_time(job))
+                    metrics.counter(f"tt.{stage.name}.stale_reads").inc()
+                    if sink is not None:
+                        sink.instant("stale_read", track=f"rt/{stage.name}",
+                                     ts=sim.now, job=job, got=seq)
+            execution = stage.execution_time(job)
+            metrics.counter(f"tt.{stage.name}.firings").inc()
+            metrics.histogram(f"tt.{stage.name}.exec_time").observe(execution)
+            if execution > stage.wcet_estimate:
+                metrics.counter(f"tt.{stage.name}.slot_overruns").inc()
+            if sink is not None:
+                sink.complete(f"{stage.name}#{job}", ts=sim.now,
+                              dur=execution, track=f"rt/{stage.name}",
+                              overrun=execution > stage.wcet_estimate)
+            yield Delay(execution)
             if stage_index + 1 < stage_count:
                 register = registers[stage_index + 1]
                 before = register.overwrites_unread

@@ -67,9 +67,37 @@ class Cpu:
         # Hook returning extra stall cycles before each instruction
         # (installed by the intrusive hardware-probe model).
         self.stall_hook: Optional[Callable[["Cpu"], float]] = None
-        # Hook called after each instruction (tracer).
-        self.post_instr_hook: Optional[Callable[["Cpu", Instr], None]] = None
+        # Hooks called after each instruction (tracers, probes, ...).
+        # Append-only list: several observers can coexist on one core.
+        self._post_instr_hooks: List[Callable[["Cpu", Instr], None]] = []
         self.process = None
+
+    # ------------------------------------------------------------------
+    def add_post_instr_hook(
+            self, hook: Callable[["Cpu", Instr], None]
+    ) -> Callable[["Cpu", Instr], None]:
+        """Register a hook called after every retired instruction."""
+        self._post_instr_hooks.append(hook)
+        return hook
+
+    def remove_post_instr_hook(
+            self, hook: Callable[["Cpu", Instr], None]) -> None:
+        self._post_instr_hooks.remove(hook)
+
+    @property
+    def post_instr_hook(self) -> Optional[Callable[["Cpu", Instr], None]]:
+        """Backward-compat view: the most recently installed hook."""
+        return self._post_instr_hooks[-1] if self._post_instr_hooks else None
+
+    @post_instr_hook.setter
+    def post_instr_hook(
+            self, hook: Optional[Callable[["Cpu", Instr], None]]) -> None:
+        # Assignment used to clobber any previously installed observer;
+        # it now appends (None clears all hooks).
+        if hook is None:
+            self._post_instr_hooks.clear()
+        else:
+            self._post_instr_hooks.append(hook)
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -113,8 +141,9 @@ class Cpu:
             self.instr_count += 1
             self._execute(instr)
             self.pc_signal.write(self.pc)
-            if self.post_instr_hook is not None:
-                self.post_instr_hook(self, instr)
+            if self._post_instr_hooks:
+                for hook in self._post_instr_hooks:
+                    hook(self, instr)
         self.halted_signal.write(1)
 
     # ------------------------------------------------------------------

@@ -138,6 +138,24 @@ class SoC:
         return all(core.halted for core in self.cores)
 
     # ------------------------------------------------------------------
+    def attach_observability(self, sink, metrics=None,
+                             trace_instructions: bool = False,
+                             trace_memory: bool = True):
+        """Wire the whole platform into a shared observability sink.
+
+        Installs a kernel probe on the simulator (queue depth, dwell
+        times, per-process spans) and a :class:`~repro.vp.trace.Tracer`
+        emitting call/bus/irq records.  Returns ``(tracer, probe)``.
+        Non-intrusive: nothing here consumes simulated time.
+        """
+        from repro.obs.probe import observe
+        from repro.vp.trace import Tracer
+        probe = observe(self.sim, sink=sink, metrics=metrics)
+        tracer = Tracer(self, trace_instructions=trace_instructions,
+                        trace_memory=trace_memory, sink=sink)
+        return tracer, probe
+
+    # ------------------------------------------------------------------
     def signals(self) -> Dict[str, Signal]:
         """Every observable signal in the platform, by name."""
         table: Dict[str, Signal] = {}

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
+from repro.obs.trace import TraceSink
 from repro.vp.isa import Instr
 from repro.vp.iss import Cpu
 from repro.vp.soc import SoC
@@ -37,56 +38,91 @@ class TraceEvent:
 
 
 class Tracer:
-    """Non-intrusive event recorder over one SoC."""
+    """Non-intrusive event recorder over one SoC.
+
+    A thin adapter over the shared observability sink: every recorded
+    event lands in the in-memory :attr:`events` list (the query API
+    below), and -- when a :class:`~repro.obs.TraceSink` is supplied --
+    is also emitted into it: ``jal``/``ret`` become call-stack spans on
+    the per-core ``vp/core<N>`` tracks, bus accesses and irq edges
+    become instants on ``vp/bus`` and ``vp/irq``.
+
+    Registration is append-only (``Cpu.add_post_instr_hook``), so any
+    number of tracers and debuggers can observe one SoC simultaneously.
+    """
 
     def __init__(self, soc: SoC, trace_instructions: bool = False,
-                 trace_memory: bool = True) -> None:
+                 trace_memory: bool = True,
+                 sink: Optional[TraceSink] = None) -> None:
         self.soc = soc
         self.trace_instructions = trace_instructions
+        self.sink = sink
         self.events: List[TraceEvent] = []
         self.call_depth: Dict[int, int] = {c.core_id: 0 for c in soc.cores}
         for core in soc.cores:
-            core.post_instr_hook = self._make_instr_hook()
+            core.add_post_instr_hook(self._make_instr_hook())
         if trace_memory:
             soc.bus.observe(self._on_bus)
         for name, signal in soc.signals().items():
             if name.endswith(".irq"):
                 signal.changed.subscribe(self._make_irq_hook(name))
 
+    def _record(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    def _core_track(self, core_id: int) -> str:
+        return f"vp/core{core_id}"
+
     def _make_instr_hook(self):
         def hook(core: Cpu, instr: Instr) -> None:
+            now = self.soc.sim.now
             if instr.op == "jal":
                 self.call_depth[core.core_id] += 1
-                self.events.append(TraceEvent(
-                    self.soc.sim.now, "call", core.core_id,
+                self._record(TraceEvent(
+                    now, "call", core.core_id,
                     {"target": instr.args[0],
                      "depth": self.call_depth[core.core_id]}))
+                if self.sink is not None:
+                    self.sink.begin(f"fn@{instr.args[0]}",
+                                    track=self._core_track(core.core_id),
+                                    ts=now)
             elif instr.op == "ret":
-                self.events.append(TraceEvent(
-                    self.soc.sim.now, "ret", core.core_id,
+                self._record(TraceEvent(
+                    now, "ret", core.core_id,
                     {"depth": self.call_depth[core.core_id]}))
                 self.call_depth[core.core_id] = max(
                     0, self.call_depth[core.core_id] - 1)
+                if self.sink is not None:
+                    self.sink.end(track=self._core_track(core.core_id),
+                                  ts=now)
             elif self.trace_instructions:
-                self.events.append(TraceEvent(
-                    self.soc.sim.now, "instr", core.core_id,
+                self._record(TraceEvent(
+                    now, "instr", core.core_id,
                     {"op": instr.op, "pc": core.pc}))
         return hook
 
     def _on_bus(self, kind: str, address: int, value: int,
                 master: str) -> None:
-        self.events.append(TraceEvent(
-            self.soc.sim.now, "mem", None,
+        now = self.soc.sim.now
+        region = self.soc.bus.region_of(address)
+        self._record(TraceEvent(
+            now, "mem", None,
             {"op": kind, "addr": address, "value": value,
-             "master": master,
-             "region": self.soc.bus.region_of(address)}))
+             "master": master, "region": region}))
+        if self.sink is not None:
+            self.sink.instant(f"{kind}@{region}", track="vp/bus", ts=now,
+                              addr=address, value=value, master=master)
 
     def _make_irq_hook(self, name: str):
         def hook(payload: Any) -> None:
+            now = self.soc.sim.now
             old, new = payload
-            self.events.append(TraceEvent(
-                self.soc.sim.now, "irq", None,
+            self._record(TraceEvent(
+                now, "irq", None,
                 {"signal": name, "old": old, "new": new}))
+            if self.sink is not None:
+                self.sink.instant(name, track="vp/irq", ts=now,
+                                  old=old, new=new)
         return hook
 
     # ------------------------------------------------------------------

@@ -149,7 +149,13 @@ class TestMetrics:
     def test_crossover(self):
         a = {1: 1.0, 2: 2.0, 3: 3.0}
         b = {1: 2.0, 2: 2.0, 3: 2.0}
-        assert crossover_point(a, b) == 2
+        # b beats a at x=1 and stops beating it at the x=2 tie.
+        assert crossover_point(b, a) == 2
+        # a never beats b before x=1, so it has "stopped" from the start.
+        assert crossover_point(a, b) == 1
+        # A curve that always wins never crosses over.
+        assert crossover_point({1: 9.0, 2: 9.0}, {1: 1.0, 2: 1.0}) \
+            == float("inf")
 
     def test_table_renders(self):
         text = table([[1, "x"], [22, "yyy"]], headers=["n", "name"])
