@@ -9,9 +9,19 @@ where crossovers fall.
 
 from __future__ import annotations
 
+import json
 import os
+import time
 
 import pytest
+
+_RESULTS_FILE = os.path.join(os.path.dirname(__file__), "..",
+                             "BENCH_RESULTS.json")
+_MAX_RUNS = 50
+
+# nodeid -> call-phase duration / headline numbers, gathered per session.
+_DURATIONS = {}
+_HEADLINES = {}
 
 
 def print_table(title: str, rows, headers) -> None:
@@ -24,6 +34,59 @@ def print_table(title: str, rows, headers) -> None:
 @pytest.fixture
 def show():
     return print_table
+
+
+@pytest.fixture
+def record_bench(request):
+    """Record headline numbers for the perf trajectory.
+
+    A bench calls ``record_bench(speedup=4.2, instr_per_sec=2.1e6)``;
+    the values land next to the bench's wall-clock duration in
+    ``BENCH_RESULTS.json`` at session end.
+    """
+    nodeid = request.node.nodeid
+
+    def record(**numbers):
+        _HEADLINES.setdefault(nodeid, {}).update(
+            {key: float(value) for key, value in numbers.items()})
+
+    return record
+
+
+def pytest_runtest_logreport(report):
+    if report.when == "call" and report.passed:
+        _DURATIONS[report.nodeid] = report.duration
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Append this run's bench timings + headlines to BENCH_RESULTS.json.
+
+    The file holds the perf *trajectory*: one record per bench run, so a
+    regression shows up as a kink in the series.  Kept to the last
+    ``_MAX_RUNS`` runs.
+    """
+    if not _DURATIONS:
+        return
+    benches = {}
+    for nodeid, seconds in sorted(_DURATIONS.items()):
+        entry = {"seconds": round(seconds, 4)}
+        entry.update(_HEADLINES.get(nodeid, {}))
+        benches[nodeid] = entry
+    try:
+        with open(_RESULTS_FILE) as handle:
+            data = json.load(handle)
+        if not isinstance(data.get("runs"), list):
+            data = {"runs": []}
+    except (OSError, ValueError):
+        data = {"runs": []}
+    data["runs"].append({
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "benches": benches,
+    })
+    data["runs"] = data["runs"][-_MAX_RUNS:]
+    with open(_RESULTS_FILE, "w") as handle:
+        json.dump(data, handle, indent=2)
+        handle.write("\n")
 
 
 @pytest.fixture

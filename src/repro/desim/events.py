@@ -113,6 +113,17 @@ class Signal:
         injection during a suspended system)."""
         self._value = new
 
+    @property
+    def observed(self) -> bool:
+        """True when anything subscribes to or waits on this signal's
+        change/edge events.  The ISS fast path polls this: an observed
+        ``pc_signal`` forces per-instruction synchronization so signal
+        watchpoints see every intermediate value."""
+        for event in (self.changed, self.posedge, self.negedge):
+            if event._waiters or event._callbacks:
+                return True
+        return False
+
     def __repr__(self) -> str:
         return f"Signal({self.name!r}, value={self._value!r})"
 

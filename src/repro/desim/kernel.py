@@ -122,6 +122,15 @@ class Process:
         self._pending_interrupt: Optional[Interrupted] = None
         self._waiting_on: Optional[Event] = None
         self._resume_handle: Optional[Callable[[Any], None]] = None
+        # Re-arm fast path: the dominant scheduling pattern is a process
+        # resuming itself (Delay / event payload).  Instead of allocating
+        # a fresh closure + _ScheduledItem per resume, the kernel recycles
+        # this per-process record whenever it is not already in the heap.
+        self._rearm_item: Optional["_ScheduledItem"] = None
+        self._rearm_busy = False
+        self._rearm_value: Any = None
+        self._rearm_epoch = 0
+        self._rearm_action = self._run_rearm  # bind once, reuse forever
         # Resume epoch: every actual resume bumps it, and every scheduled
         # resume carries the epoch it was issued for.  A stale wakeup
         # (e.g. the original timer of an interrupted Delay) then no longer
@@ -147,6 +156,11 @@ class Process:
         # schedules an immediate resume:
         elif self._resume_handle is None:
             self.sim._schedule_resume(self, None)
+
+    def _run_rearm(self) -> None:
+        """Heap action of the recycled resume record (see _rearm_item)."""
+        self._rearm_busy = False
+        self.sim._step(self, self._rearm_value, self._rearm_epoch)
 
     def __repr__(self) -> str:
         state = "alive" if self.alive else "done"
@@ -194,6 +208,13 @@ class Simulator:
     def remove_observer(self, observer: SimObserver) -> None:
         self._observers.remove(observer)
 
+    @property
+    def has_observers(self) -> bool:
+        """True when kernel instrumentation is installed.  The ISS fast
+        path polls this: observers must see the per-instruction event
+        stream, so batching is disabled while any are attached."""
+        return bool(self._observers)
+
     # ------------------------------------------------------------------
     # scheduling primitives
     # ------------------------------------------------------------------
@@ -236,6 +257,34 @@ class Simulator:
     def _schedule_resume(self, proc: Process, value: Any,
                          delay: float = 0.0) -> None:
         expected = proc._epoch
+        if delay >= 0 and not proc._rearm_busy:
+            # Cheap re-arm: recycle the process's resume record instead of
+            # allocating a closure + heap item per event.  Safe because
+            # internal resume items are never cancelled, so a busy record
+            # is guaranteed to be popped (and released) by the main loop
+            # before it can be reused.  A second concurrent resume (e.g.
+            # interrupt() racing a Delay timer) falls back to `at()`.
+            proc._rearm_value = value
+            proc._rearm_epoch = expected
+            proc._rearm_busy = True
+            self._seq += 1
+            item = proc._rearm_item
+            if item is None:
+                item = _ScheduledItem(self.now + delay, proc.priority,
+                                      self._seq, proc._rearm_action)
+                proc._rearm_item = item
+            else:
+                item.time = self.now + delay
+                item.priority = proc.priority
+                item.seq = self._seq
+                item.cancelled = False
+                item.consumed = False
+            heapq.heappush(self._queue, item)
+            self._pending_count += 1
+            if self._observers:
+                for observer in self._observers:
+                    observer.on_schedule(self, item)
+            return
         self.at(self.now + delay,
                 lambda: self._step(proc, value, expected),
                 priority=proc.priority)

@@ -27,8 +27,17 @@ class KernelProbe(SimObserver):
     ``sink`` receives per-process ``Delay`` occupancy spans on
     ``span_track`` and a queue-depth counter series sampled every
     ``counter_interval`` executed events.  ``metrics`` accumulates
-    counters (events, resumes, finishes) and dwell histograms; both are
-    optional and a probe with neither is a cheap no-op.
+    counters (events, resumes, finishes), the queue high-water mark and
+    dwell histograms; both are optional and a probe with neither is a
+    cheap no-op.
+
+    Contract with the ISS fast path: while any :class:`SimObserver` is
+    installed, virtual-platform cores disable temporal decoupling and
+    retire one instruction per kernel event, so the probe observes the
+    exact per-instruction event ordering of an un-instrumented
+    ``quantum=1`` run (at per-instruction cost).  Scheduled items may be
+    recycled by the kernel's re-arm fast path, so observers must not key
+    state off item identity.
     """
 
     def __init__(self, sink: Optional[TraceSink] = None,
@@ -50,6 +59,9 @@ class KernelProbe(SimObserver):
     # ------------------------------------------------------------------
     # SimObserver interface
     # ------------------------------------------------------------------
+    def on_schedule(self, sim: Simulator, item) -> None:
+        self.metrics.gauge("kernel.queue_peak").set(sim.pending)
+
     def on_execute(self, sim: Simulator, item) -> None:
         self.events_executed += 1
         self.metrics.counter("kernel.events").inc()

@@ -10,8 +10,9 @@ simulator, not in the simulated program.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Protocol, Tuple
+from typing import Callable, Dict, List, Optional, Protocol, Tuple
 
 
 class BusError(Exception):
@@ -67,6 +68,11 @@ class Bus:
         self.observers: List[AccessObserver] = []
         self.reads = 0
         self.writes = 0
+        # Decode fast path: the vast majority of traffic hits one region
+        # (the shared RAM), so the last-hit mapping is checked first and
+        # misses fall back to a binary search over the sorted bases.
+        self._bases: List[int] = []
+        self._last_hit: Optional[_Mapping] = None
 
     def attach(self, base: int, size: int, device: Device,
                name: str = "") -> None:
@@ -77,6 +83,8 @@ class Bus:
         self.mappings.append(_Mapping(base, size, device,
                                       name or type(device).__name__))
         self.mappings.sort(key=lambda m: m.base)
+        self._bases = [m.base for m in self.mappings]
+        self._last_hit = None
 
     def observe(self, observer: AccessObserver) -> None:
         self.observers.append(observer)
@@ -86,8 +94,15 @@ class Bus:
             self.observers.remove(observer)
 
     def _decode(self, address: int) -> Tuple[_Mapping, int]:
-        for mapping in self.mappings:
+        mapping = self._last_hit
+        if mapping is not None and \
+                mapping.base <= address < mapping.base + mapping.size:
+            return mapping, address - mapping.base
+        index = bisect_right(self._bases, address) - 1
+        if index >= 0:
+            mapping = self.mappings[index]
             if mapping.base <= address < mapping.base + mapping.size:
+                self._last_hit = mapping
                 return mapping, address - mapping.base
         raise BusError(f"unmapped address {address:#x}")
 
@@ -95,16 +110,18 @@ class Bus:
         mapping, offset = self._decode(address)
         value = mapping.device.read(offset)
         self.reads += 1
-        for observer in list(self.observers):
-            observer("read", address, value, master)
+        if self.observers:
+            for observer in list(self.observers):
+                observer("read", address, value, master)
         return value
 
     def write(self, address: int, value: int, master: str = "?") -> None:
         mapping, offset = self._decode(address)
         mapping.device.write(offset, value)
         self.writes += 1
-        for observer in list(self.observers):
-            observer("write", address, value, master)
+        if self.observers:
+            for observer in list(self.observers):
+                observer("write", address, value, master)
 
     def peek(self, address: int) -> int:
         """Debugger back-door read: no side effects, no observation."""

@@ -80,6 +80,22 @@ class Debugger:
         self.stops: List[StopReason] = []
         self.soc.bus.observe(self._on_bus_access)
         self._signal_hooks: List[Tuple[Signal, Callable]] = []
+        # Sync-boundary contract: the debugger inspects the platform
+        # between kernel events, so every core must retire at most one
+        # instruction per event while a debugger is attached (breakpoints
+        # poll `core.pc` between events).  This forces quantum=1 behavior
+        # on the ISS fast path until detach().
+        self.soc.acquire_sync()
+        self._attached = True
+
+    def detach(self) -> None:
+        """Release the debugger's hold on the platform: stop observing the
+        bus and let cores resume temporally-decoupled execution."""
+        if not self._attached:
+            return
+        self._attached = False
+        self.soc.bus.unobserve(self._on_bus_access)
+        self.soc.release_sync()
 
     # ------------------------------------------------------------------
     # condition registration

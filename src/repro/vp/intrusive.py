@@ -53,6 +53,13 @@ class HardwareProbe:
         self.log = ProbeLog()
         self._armed: Set[int] = set()
         self.core.stall_hook = self._stall_hook
+        # Sync-boundary contract: the probe samples pc/registers before
+        # every instruction of the core under debug, so that core must
+        # run per-instruction (the stall hook alone already forces this
+        # on the ISS fast path; the explicit request documents it and
+        # keeps the core synchronous even with a zero-cost monitor).
+        self.core.acquire_sync()
+        self._attached = True
 
     def add_breakpoint(self, pc: int) -> None:
         self.breakpoints.add(pc)
@@ -64,7 +71,11 @@ class HardwareProbe:
         self.inspect_at.add(pc)
 
     def detach(self) -> None:
+        if not self._attached:
+            return
+        self._attached = False
         self.core.stall_hook = None
+        self.core.release_sync()
 
     def _stall_hook(self, core: Cpu) -> float:
         stall = self.monitor_overhead

@@ -36,6 +36,16 @@ THREE_REG_OPS = {"add", "sub", "mul", "div", "and", "or", "xor", "shl",
 BRANCH_OPS = {"beq", "bne", "blt", "bge"}
 NO_ARG_OPS = {"nop", "halt", "ret", "ei", "di", "iret"}
 
+# Classification used by the ISS's temporally-decoupled fast path: LOCAL_OPS
+# touch nothing outside the register file and may be batched into one kernel
+# event; SYNC_OPS are observable interactions (bus traffic, interrupt-mode
+# changes, halt) that force a synchronization boundary.
+CONTROL_OPS = BRANCH_OPS | {"jmp", "jal", "jr", "ret"}
+MEM_OPS = {"lw", "sw", "swap"}
+SYNC_OPS = MEM_OPS | {"halt", "ei", "di", "iret"}
+LOCAL_OPS = (THREE_REG_OPS | CONTROL_OPS
+             | {"addi", "li", "mov", "nop"})
+
 
 class AsmError(Exception):
     """Raised on an assembly error, with the offending line."""
@@ -225,5 +235,6 @@ def _encode(op: str, operands: List[str], line_no: int, raw: str,
     raise AsmError(f"unknown mnemonic {op!r}", line_no, raw)
 
 
-__all__ = ["AsmError", "AsmProgram", "Instr", "LINK_REGISTER",
-           "REGISTER_COUNT", "STACK_REGISTER", "assemble"]
+__all__ = ["AsmError", "AsmProgram", "BRANCH_OPS", "CONTROL_OPS", "Instr",
+           "LINK_REGISTER", "LOCAL_OPS", "MEM_OPS", "REGISTER_COUNT",
+           "STACK_REGISTER", "SYNC_OPS", "THREE_REG_OPS", "assemble"]

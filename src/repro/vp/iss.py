@@ -10,6 +10,38 @@ non-intrusive VP debugger never stalls a core (it suspends the whole
 simulator between events instead), while the intrusive hardware-probe
 model injects per-core stalls -- the timing perturbation that creates
 Heisenbugs (section VII).
+
+Temporal decoupling (the fast path)
+-----------------------------------
+Paying one kernel event per retired instruction makes the ISS, not the
+modeled workload, dominate wall-clock time.  Like SystemC/TLM2 loosely
+timed platforms, the core therefore batches *local* progress -- straight
+runs of ALU/branch instructions that touch nothing outside the register
+file -- into a single ``yield Delay(total)``, bounded by a configurable
+time ``quantum``.  Each :class:`AsmProgram` is pre-decoded once into
+dispatch-ready handler closures (the *decode cache*, invalidated when the
+program object or its length changes; call :func:`invalidate_decode`
+after editing instructions in place).
+
+Cycle counts are bit-identical to the per-instruction reference path:
+batches accumulate exactly the per-instruction cycle costs, and every
+*observable interaction* forces a synchronization boundary where the core
+re-enters the kernel at the precise reference cycle:
+
+- bus reads/writes (``lw``/``sw``/``swap``);
+- mode changes (``ei``/``di``/``iret``/``halt``);
+- an open interrupt window (interrupts enabled, outside an ISR, with an
+  irq vector configured) -- the reference path samples ``irq`` before
+  every instruction, so the fast path degrades to it;
+- an installed ``stall_hook`` or any ``post_instr_hook`` observer;
+- kernel :class:`~repro.desim.SimObserver` instrumentation (the obs
+  probes see the identical per-instruction event stream);
+- subscribers on ``pc_signal`` (debugger signal watchpoints);
+- an outstanding :meth:`Cpu.acquire_sync` request (the non-intrusive
+  debugger holds one while attached).
+
+``quantum=1`` disables batching entirely and reproduces the historical
+per-instruction behavior event for event.
 """
 
 from __future__ import annotations
@@ -19,10 +51,26 @@ from typing import Callable, List, Optional
 
 from repro.desim import Delay, Signal, Simulator
 from repro.vp.bus import Bus
-from repro.vp.isa import AsmProgram, Instr, LINK_REGISTER, REGISTER_COUNT
+from repro.vp.isa import (AsmProgram, BRANCH_OPS, Instr, LINK_REGISTER,
+                          REGISTER_COUNT)
 
 CYCLES = {"mul": 3, "div": 3, "lw": 2, "sw": 2, "swap": 2}
 DEFAULT_CYCLES = 1
+DEFAULT_QUANTUM = 64
+
+_MASK32 = 0xFFFFFFFF
+
+
+def _div_trunc(a: int, b: int) -> int:
+    """Pure-integer division truncating toward zero (no float detour, so
+    operands beyond 2**53 stay exact)."""
+    q = abs(a) // abs(b)
+    return -q if (a < 0) != (b < 0) else q
+
+
+def _unsigned_lt(a: int, b: int) -> int:
+    """``sltu``: compare the 32-bit two's-complement images."""
+    return 1 if (a & _MASK32) < (b & _MASK32) else 0
 
 
 @dataclass
@@ -39,12 +87,174 @@ class CoreState:
     instr_count: int
 
 
+# ---------------------------------------------------------------------------
+# decode cache
+# ---------------------------------------------------------------------------
+
+class _BatchFault(Exception):
+    """A fault raised inside a compiled handler.  Carries the detail text
+    without the core name (decoded programs are shared across cores); the
+    batch executor prefixes the name when surfacing it."""
+
+
+_BINOPS = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "mul": lambda a, b: a * b,
+    "and": lambda a, b: a & b,
+    "or": lambda a, b: a | b,
+    "xor": lambda a, b: a ^ b,
+    "shl": lambda a, b: a << b,
+    "shr": lambda a, b: a >> b,
+    "slt": lambda a, b: 1 if a < b else 0,
+    "sltu": _unsigned_lt,
+    "seq": lambda a, b: 1 if a == b else 0,
+}
+
+_BRANCH_TESTS = {
+    "beq": lambda a, b: a == b,
+    "bne": lambda a, b: a != b,
+    "blt": lambda a, b: a < b,
+    "bge": lambda a, b: a >= b,
+}
+
+
+def _compile_handler(instr: Instr, pc: int):
+    """Compile one batchable instruction to a closure ``handler(regs) ->
+    next_pc`` mutating the register file in place.
+
+    ``regs[0]`` is hardwired to zero by construction (every write path
+    guards index 0), so operand reads use the raw list.  Handlers for
+    ``rd == r0`` still evaluate their operands -- a ``div`` by zero must
+    fault exactly like the reference path.
+    """
+    op = instr.op
+    args = instr.args
+    nxt = pc + 1
+    if op == "div":
+        rd, ra, rb = args
+
+        def div_handler(regs, rd=rd, ra=ra, rb=rb, nxt=nxt, pc=pc):
+            b = regs[rb]
+            if b == 0:
+                raise _BatchFault(f"division by zero at pc={pc}")
+            value = _div_trunc(regs[ra], b)
+            if rd:
+                regs[rd] = value
+            return nxt
+        return div_handler
+    if op in _BINOPS:
+        rd, ra, rb = args
+        fn = _BINOPS[op]
+        if rd:
+            def bin_handler(regs, rd=rd, ra=ra, rb=rb, nxt=nxt, fn=fn):
+                regs[rd] = fn(regs[ra], regs[rb])
+                return nxt
+        else:
+            def bin_handler(regs, ra=ra, rb=rb, nxt=nxt, fn=fn):
+                fn(regs[ra], regs[rb])
+                return nxt
+        return bin_handler
+    if op == "addi":
+        rd, ra, imm = args
+        if rd:
+            return lambda regs, rd=rd, ra=ra, imm=imm, nxt=nxt: (
+                regs.__setitem__(rd, regs[ra] + imm), nxt)[1]
+        return lambda regs, nxt=nxt: nxt
+    if op == "li":
+        rd, imm = args
+        if rd:
+            return lambda regs, rd=rd, imm=imm, nxt=nxt: (
+                regs.__setitem__(rd, imm), nxt)[1]
+        return lambda regs, nxt=nxt: nxt
+    if op == "mov":
+        rd, ra = args
+        if rd:
+            return lambda regs, rd=rd, ra=ra, nxt=nxt: (
+                regs.__setitem__(rd, regs[ra]), nxt)[1]
+        return lambda regs, nxt=nxt: nxt
+    if op in BRANCH_OPS:
+        ra, rb, target = args
+        test = _BRANCH_TESTS[op]
+        return lambda regs, ra=ra, rb=rb, t=target, nxt=nxt, test=test: (
+            t if test(regs[ra], regs[rb]) else nxt)
+    if op == "jmp":
+        target = args[0]
+        return lambda regs, t=target: t
+    if op == "jal":
+        target = args[0]
+
+        def jal_handler(regs, t=target, link=nxt):
+            regs[LINK_REGISTER] = link
+            return t
+        return jal_handler
+    if op == "jr":
+        ra = args[0]
+        return lambda regs, ra=ra: regs[ra]
+    if op == "ret":
+        return lambda regs: regs[LINK_REGISTER]
+    if op == "nop":
+        return lambda regs, nxt=nxt: nxt
+    return None  # boundary op: executed on the reference path
+
+
+class DecodedProgram:
+    """Dispatch-ready decode of one :class:`AsmProgram`.
+
+    Three parallel tables indexed by pc: per-instruction ``cycles``,
+    whether the instruction is ``batchable`` (no observable interaction),
+    and the compiled ``handlers`` (``None`` at sync boundaries).
+    """
+
+    __slots__ = ("n", "cycles", "batchable", "handlers", "_source_list")
+
+    def __init__(self, program: AsmProgram) -> None:
+        instrs = program.instructions
+        self._source_list = instrs
+        self.n = len(instrs)
+        self.cycles = [CYCLES.get(i.op, DEFAULT_CYCLES) for i in instrs]
+        self.handlers = [_compile_handler(instr, pc)
+                         for pc, instr in enumerate(instrs)]
+        self.batchable = [h is not None for h in self.handlers]
+
+    def matches(self, program: AsmProgram) -> bool:
+        """Cheap identity check: same instruction list, same length.
+        In-place edits that keep the length need :func:`invalidate_decode`."""
+        return (program.instructions is self._source_list
+                and len(program.instructions) == self.n)
+
+
+def decode_program(program: AsmProgram) -> DecodedProgram:
+    """Fetch (or build and cache) the decoded form of ``program``.
+
+    The cache lives on the program object itself, so it is shared by
+    every core running the same :class:`AsmProgram` and dies with it.
+    """
+    cached = getattr(program, "_iss_decoded", None)
+    if cached is not None and cached.matches(program):
+        return cached
+    decoded = DecodedProgram(program)
+    program._iss_decoded = decoded
+    return decoded
+
+
+def invalidate_decode(program: AsmProgram) -> None:
+    """Drop the cached decode (required after in-place instruction edits
+    that keep ``len(program.instructions)`` unchanged)."""
+    if getattr(program, "_iss_decoded", None) is not None:
+        program._iss_decoded = None
+
+
+# ---------------------------------------------------------------------------
+# the core
+# ---------------------------------------------------------------------------
+
 class Cpu:
     """One RISC core executing an :class:`AsmProgram`."""
 
     def __init__(self, sim: Simulator, bus: Bus, program: AsmProgram,
                  core_id: int = 0, irq_vector: Optional[int] = None,
-                 entry: int = 0) -> None:
+                 entry: int = 0, quantum: int = DEFAULT_QUANTUM) -> None:
         self.sim = sim
         self.bus = bus
         self.program = program
@@ -60,6 +270,12 @@ class Cpu:
         self.saved_regs: List[int] = []
         self.cycle_count = 0
         self.instr_count = 0
+        # Temporal decoupling: max simulated cycles executed per kernel
+        # event on the fast path; 1 forces the per-instruction reference
+        # path (see module docstring for the sync-boundary rules).
+        if quantum < 1:
+            raise ValueError(f"quantum must be >= 1, got {quantum}")
+        self.quantum = quantum
         # Signals observable by the debugger (non-intrusively).
         self.irq = Signal(f"{self.name}.irq", 0)
         self.halted_signal = Signal(f"{self.name}.halted", 0)
@@ -70,6 +286,10 @@ class Cpu:
         # Hooks called after each instruction (tracers, probes, ...).
         # Append-only list: several observers can coexist on one core.
         self._post_instr_hooks: List[Callable[["Cpu", Instr], None]] = []
+        # Outstanding synchronization requests: while > 0 the core runs
+        # per-instruction regardless of `quantum` (debugger contract).
+        self._sync_requests = 0
+        self._decoded: Optional[DecodedProgram] = None
         self.process = None
 
     # ------------------------------------------------------------------
@@ -100,6 +320,18 @@ class Cpu:
             self._post_instr_hooks.append(hook)
 
     # ------------------------------------------------------------------
+    def acquire_sync(self) -> None:
+        """Force per-instruction execution (quantum=1 behavior) until the
+        matching :meth:`release_sync`.  Takes effect at the next
+        synchronization boundary; counted, so several debuggers nest."""
+        self._sync_requests += 1
+
+    def release_sync(self) -> None:
+        if self._sync_requests <= 0:
+            raise RuntimeError(f"{self.name}: release_sync without acquire")
+        self._sync_requests -= 1
+
+    # ------------------------------------------------------------------
     def start(self) -> None:
         """Spawn the core's execution process on the kernel."""
         self.process = self.sim.spawn(self._run(), name=self.name)
@@ -120,21 +352,87 @@ class Cpu:
     def _run(self):
         while not self.halted:
             # Interrupt entry check (level-sensitive).
-            if (self.interrupts_enabled and not self.in_isr
-                    and self.irq.read() and self.irq_vector is not None):
+            irq_window = (self.interrupts_enabled and not self.in_isr
+                          and self.irq_vector is not None)
+            if irq_window and self.irq.read():
                 self.epc = self.pc
                 self.saved_regs = list(self.regs)
                 self.pc = self.irq_vector
                 self.in_isr = True
-            if not 0 <= self.pc < len(self.program.instructions):
+                irq_window = False  # now inside the ISR
+            program = self.program
+            n = len(program.instructions)
+            if not 0 <= self.pc < n:
                 raise RuntimeError(
                     f"{self.name}: pc {self.pc} outside program "
-                    f"(len {len(self.program.instructions)})")
+                    f"(len {n})")
             if self.stall_hook is not None:
                 stall = self.stall_hook(self)
                 if stall > 0:
                     yield Delay(stall)
-            instr = self.program.instructions[self.pc]
+            # Fast-path eligibility: no observable interaction may fall
+            # inside a batch (module docstring lists the boundary rules).
+            elif (self.quantum > 1 and self._sync_requests == 0
+                    and not self._post_instr_hooks
+                    and not irq_window
+                    and not self.sim.has_observers
+                    and not self.pc_signal.observed):
+                decoded = self._decoded
+                if decoded is None or not decoded.matches(program):
+                    decoded = self._decoded = decode_program(program)
+                if decoded.batchable[self.pc]:
+                    # Execute a quantum-bounded run of local instructions
+                    # in place, then re-enter the kernel exactly once.
+                    handlers = decoded.handlers
+                    cycles_tab = decoded.cycles
+                    batchable = decoded.batchable
+                    regs = self.regs
+                    quantum = self.quantum
+                    pc = self.pc
+                    total = 0
+                    count = 0
+                    cost = 0
+                    fault = None
+                    while True:
+                        cost = cycles_tab[pc]
+                        try:
+                            pc = handlers[pc](regs)
+                        except BaseException as error:  # noqa: BLE001
+                            # The reference path charges the faulting
+                            # instruction before raising; match it, and
+                            # surface the error only after the batch
+                            # delay so it fires at the reference cycle.
+                            total += cost
+                            count += 1
+                            fault = error
+                            break
+                        total += cost
+                        count += 1
+                        if (total >= quantum or not 0 <= pc < n
+                                or not batchable[pc]):
+                            break
+                    # Two kernel events per batch, not one: the final
+                    # instruction's delay is issued separately so that
+                    # every fast-path yield is scheduled at a simulation
+                    # time where the reference path also scheduled one.
+                    # Simultaneous wakeups tie-break on kernel sequence
+                    # numbers (= scheduling order), so this alignment is
+                    # what keeps tied-time bus accesses of *other* cores
+                    # in the exact reference order.
+                    if total > cost:
+                        yield Delay(total - cost)
+                    yield Delay(cost)
+                    self.cycle_count += total
+                    self.instr_count += count
+                    self.pc = pc
+                    self.pc_signal.write(pc)
+                    if fault is not None:
+                        if isinstance(fault, _BatchFault):
+                            raise RuntimeError(f"{self.name}: {fault}")
+                        raise fault
+                    continue
+            # Reference path: one instruction, one kernel event.
+            instr = program.instructions[self.pc]
             cycles = CYCLES.get(instr.op, DEFAULT_CYCLES)
             yield Delay(cycles)
             self.cycle_count += cycles
@@ -165,7 +463,7 @@ class Cpu:
                 if b == 0:
                     raise RuntimeError(f"{self.name}: division by zero "
                                        f"at pc={self.pc}")
-                value = int(a / b) if (a < 0) != (b < 0) and a % b else a // b
+                value = _div_trunc(a, b)
             elif op == "and":
                 value = a & b
             elif op == "or":
@@ -179,7 +477,7 @@ class Cpu:
             elif op == "slt":
                 value = 1 if a < b else 0
             elif op == "sltu":
-                value = 1 if abs(a) < abs(b) else 0
+                value = _unsigned_lt(a, b)
             else:  # seq
                 value = 1 if a == b else 0
             self._write_reg(rd, value)
@@ -241,4 +539,5 @@ class Cpu:
         self.pc = next_pc
 
 
-__all__ = ["CoreState", "Cpu", "CYCLES"]
+__all__ = ["CoreState", "Cpu", "CYCLES", "DEFAULT_QUANTUM", "DecodedProgram",
+           "decode_program", "invalidate_decode"]

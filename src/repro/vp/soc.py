@@ -22,7 +22,7 @@ from typing import Dict, List, Optional, Union
 from repro.desim import Signal, Simulator
 from repro.vp.bus import Bus, Ram
 from repro.vp.isa import AsmProgram, assemble
-from repro.vp.iss import Cpu
+from repro.vp.iss import Cpu, DEFAULT_QUANTUM
 from repro.vp.peripherals.dma import DmaDevice
 from repro.vp.peripherals.intc import InterruptController
 from repro.vp.peripherals.mailbox import MailboxBank, MailboxPort
@@ -52,6 +52,11 @@ class SoCConfig:
     n_timers: int = 2
     n_semaphores: int = 16
     irq_vector: Optional[int] = None  # per-core ISR entry (instruction index)
+    # Temporal-decoupling quantum for every core: max simulated cycles a
+    # core may batch into one kernel event on the ISS fast path.  1 forces
+    # the historical per-instruction execution; debuggers and observers
+    # force the same per-instruction behavior regardless of this value.
+    quantum: int = DEFAULT_QUANTUM
 
 
 class SoC:
@@ -102,7 +107,8 @@ class SoC:
             program = source if isinstance(source, AsmProgram) \
                 else assemble(source)
             cpu = Cpu(self.sim, self.bus, program, core_id=core_id,
-                      irq_vector=config.irq_vector)
+                      irq_vector=config.irq_vector,
+                      quantum=config.quantum)
             self.cores.append(cpu)
             intc = InterruptController(self.sim, cpu.irq, f"intc{core_id}")
             self.intcs.append(intc)
@@ -136,6 +142,17 @@ class SoC:
     @property
     def all_halted(self) -> bool:
         return all(core.halted for core in self.cores)
+
+    # ------------------------------------------------------------------
+    def acquire_sync(self) -> None:
+        """Force every core onto the per-instruction reference path (the
+        debugger's synchronization contract); pair with release_sync."""
+        for cpu in self.cores:
+            cpu.acquire_sync()
+
+    def release_sync(self) -> None:
+        for cpu in self.cores:
+            cpu.release_sync()
 
     # ------------------------------------------------------------------
     def attach_observability(self, sink, metrics=None,

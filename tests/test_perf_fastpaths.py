@@ -1,0 +1,254 @@
+"""Unit tests for the PR's hot-path machinery: the ISS decode cache and
+quantum knob, the bus decode fast path, and the kernel resume re-arm."""
+
+import pytest
+
+from repro.desim import Delay, Simulator
+from repro.desim.events import Signal
+from repro.vp import SoC, SoCConfig, assemble
+from repro.vp.bus import Bus, BusError, Ram
+from repro.vp.iss import (Cpu, DecodedProgram, decode_program,
+                          invalidate_decode)
+
+
+# ---------------------------------------------------------------------------
+# decode cache
+# ---------------------------------------------------------------------------
+
+class TestDecodeCache:
+    def test_decode_is_cached_on_the_program(self):
+        program = assemble("li r1, 1\nadd r2, r1, r1\nhalt\n")
+        first = decode_program(program)
+        assert decode_program(program) is first
+
+    def test_cache_shared_between_cores(self):
+        program = assemble("li r1, 1\nhalt\n")
+        soc = SoC(SoCConfig(n_cores=2), {0: program, 1: program})
+        soc.run()
+        assert soc.cores[0]._decoded is soc.cores[1]._decoded
+
+    def test_append_invalidates_via_length_check(self):
+        program = assemble("li r1, 1\nhalt\n")
+        first = decode_program(program)
+        program.instructions.append(program.instructions[0])
+        second = decode_program(program)
+        assert second is not first
+        assert second.n == 3
+
+    def test_explicit_invalidate(self):
+        program = assemble("li r1, 1\nhalt\n")
+        first = decode_program(program)
+        invalidate_decode(program)
+        assert decode_program(program) is not first
+        invalidate_decode(program)  # idempotent on an empty cache
+
+    def test_sync_ops_are_not_batchable(self):
+        program = assemble("""
+        li r1, 5
+        add r2, r1, r1
+        sw r2, 0(r0)
+        lw r3, 0(r0)
+        swap r3, 1(r0)
+        ei
+        di
+        halt
+        """)
+        decoded = DecodedProgram(program)
+        assert decoded.batchable[:2] == [True, True]
+        assert decoded.batchable[2:] == [False] * 6
+
+    def test_div_by_zero_faults_even_into_r0(self):
+        # rd == r0 handlers must still evaluate operands.
+        with pytest.raises(RuntimeError, match="division by zero at pc=2"):
+            soc = SoC(SoCConfig(n_cores=1),
+                      {0: "li r1, 1\nli r2, 0\ndiv r0, r1, r2\nhalt\n"})
+            soc.run()
+
+
+# ---------------------------------------------------------------------------
+# quantum knob
+# ---------------------------------------------------------------------------
+
+ALU_LOOP = """
+    li r1, 0
+    li r2, 200
+loop:
+    add r3, r1, r2
+    xor r4, r3, r1
+    addi r1, r1, 1
+    blt r1, r2, loop
+    sw r3, 0(r0)
+    halt
+"""
+
+
+def _run(quantum):
+    soc = SoC(SoCConfig(n_cores=1, quantum=quantum), {0: ALU_LOOP})
+    soc.run()
+    return soc
+
+
+class TestQuantumKnob:
+    def test_quantum_below_one_rejected(self):
+        sim, bus = Simulator(), Bus()
+        bus.attach(0, 64, Ram(64), "ram")
+        program = assemble("halt\n")
+        with pytest.raises(ValueError, match="quantum"):
+            Cpu(sim, bus, program, quantum=0)
+
+    def test_quantum_one_matches_reference_event_count(self):
+        # quantum=1 must be the historical one-event-per-instruction path.
+        soc = _run(1)
+        assert soc.sim.event_count == soc.cores[0].instr_count + 1
+
+    def test_batching_collapses_events_but_not_state(self):
+        ref, fast = _run(1), _run(64)
+        assert fast.sim.event_count < ref.sim.event_count / 4
+        assert fast.cores[0].state() == ref.cores[0].state()
+        assert fast.sim.now == ref.sim.now
+
+    def test_kernel_observer_forces_per_instruction(self):
+        from repro.desim.kernel import SimObserver
+        soc = SoC(SoCConfig(n_cores=1, quantum=64), {0: ALU_LOOP})
+        soc.sim.add_observer(SimObserver())
+        soc.run()
+        ref = _run(1)
+        assert soc.sim.event_count == ref.sim.event_count
+
+    def test_pc_signal_watch_forces_per_instruction(self):
+        pcs = []
+        soc = SoC(SoCConfig(n_cores=1, quantum=64), {0: ALU_LOOP})
+        soc.cores[0].pc_signal.changed.subscribe(
+            lambda payload: pcs.append(payload))
+        soc.run()
+        # One pc per retired instruction: nothing was skipped by a batch.
+        assert len(pcs) == soc.cores[0].instr_count
+
+    def test_acquire_release_sync(self):
+        core = _run(64).cores[0]
+        with pytest.raises(RuntimeError, match="release_sync"):
+            core.release_sync()
+
+
+# ---------------------------------------------------------------------------
+# bus decode fast path
+# ---------------------------------------------------------------------------
+
+class TestBusDecode:
+    def _bus(self):
+        bus = Bus()
+        bus.attach(0, 100, Ram(100), "low")
+        bus.attach(1000, 50, Ram(50), "mid")
+        bus.attach(5000, 10, Ram(10), "high")
+        return bus
+
+    def test_decode_across_regions(self):
+        bus = self._bus()
+        bus.write(5, 11)
+        bus.write(1049, 22)
+        bus.write(5009, 33)
+        assert bus.read(5) == 11
+        assert bus.read(1049) == 22
+        assert bus.read(5009) == 33
+
+    def test_last_hit_cache_does_not_capture_stale_region(self):
+        bus = self._bus()
+        bus.read(50)          # prime the cache with "low"
+        assert bus.region_of(1000) == "mid"
+        assert bus.region_of(50) == "low"
+
+    def test_unmapped_gaps_still_error(self):
+        bus = self._bus()
+        bus.read(99)  # prime last-hit with "low"
+        for address in (100, 999, 1050, 4999, 5010):
+            with pytest.raises(BusError, match="unmapped"):
+                bus.read(address)
+
+    def test_attach_resets_fast_path(self):
+        bus = self._bus()
+        bus.read(50)
+        bus.attach(200, 10, Ram(10), "late")
+        bus.write(205, 7)
+        assert bus.read(205) == 7
+        with pytest.raises(BusError):
+            bus.read(210)
+
+
+# ---------------------------------------------------------------------------
+# kernel re-arm fast path
+# ---------------------------------------------------------------------------
+
+class TestKernelRearm:
+    def test_delay_chain_recycles_one_item(self):
+        sim = Simulator()
+        ticks = []
+
+        def clock():
+            for _ in range(100):
+                yield Delay(1)
+                ticks.append(sim.now)
+
+        proc = sim.spawn(clock(), name="clock")
+        sim.run()
+        assert ticks == [float(t) for t in range(1, 101)]
+        assert proc._rearm_item is not None
+        assert not proc._rearm_busy
+
+    def test_interrupt_racing_a_delay_is_delivered_once(self):
+        # interrupt() while the re-arm record sits in the heap must fall
+        # back to a fresh item; the stale timer wakeup is then discarded
+        # by the epoch check instead of double-resuming the process.
+        from repro.desim.kernel import Interrupted
+        sim = Simulator()
+        log = []
+
+        def sleeper():
+            try:
+                yield Delay(100)
+                log.append("woke")
+            except Interrupted:
+                log.append("interrupted")
+                yield Delay(5)
+                log.append("after")
+
+        target = sim.spawn(sleeper(), name="sleeper")
+
+        def poker():
+            yield Delay(10)
+            target.interrupt()
+
+        sim.spawn(poker(), name="poker")
+        sim.run()
+        assert log == ["interrupted", "after"]
+        assert sim.now == 100  # the stale timer still pops (as a no-op)
+
+    def test_pending_counter_stays_consistent(self):
+        sim = Simulator()
+
+        def worker():
+            for _ in range(10):
+                yield Delay(2)
+
+        sim.spawn(worker(), name="w1")
+        sim.spawn(worker(), name="w2")
+        sim.run()
+        assert sim.pending == 0
+
+
+# ---------------------------------------------------------------------------
+# Signal.observed
+# ---------------------------------------------------------------------------
+
+class TestSignalObserved:
+    def test_fresh_signal_unobserved(self):
+        assert not Signal("s", 0).observed
+
+    def test_callback_marks_observed(self):
+        signal = Signal("s", 0)
+        signal.changed.subscribe(lambda payload: None)
+        assert signal.observed
+
+    def test_edge_waiter_marks_observed(self):
+        signal = Signal("s", 0)
+        signal.posedge.add_waiter(lambda payload: None)
+        assert signal.observed

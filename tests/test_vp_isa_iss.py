@@ -133,6 +133,59 @@ class TestIss:
         """)
         assert [soc.mem(i) for i in range(3)] == [1, 1, 0]
 
+    def test_sltu_is_a_true_unsigned_compare(self):
+        # -1 is 0xFFFFFFFF unsigned: larger than any small positive value.
+        soc = run_core("""
+        li r1, -1
+        li r2, 1
+        sltu r3, r1, r2   ; 0xFFFFFFFF < 1 ?  no
+        sltu r4, r2, r1   ; 1 < 0xFFFFFFFF ?  yes
+        li r5, -2
+        sltu r6, r5, r1   ; 0xFFFFFFFE < 0xFFFFFFFF ?  yes
+        sltu r7, r1, r5   ; 0xFFFFFFFF < 0xFFFFFFFE ?  no
+        sltu r8, r0, r1   ; 0 < 0xFFFFFFFF ?  yes
+        sw r3, 0(r0)
+        sw r4, 1(r0)
+        sw r6, 2(r0)
+        sw r7, 3(r0)
+        sw r8, 4(r0)
+        halt
+        """)
+        assert [soc.mem(i) for i in range(5)] == [0, 1, 1, 0, 1]
+
+    def test_div_truncates_toward_zero(self):
+        soc = run_core("""
+        li r1, -7
+        li r2, 2
+        div r3, r1, r2    ; -7 / 2  = -3 (toward zero, not floor's -4)
+        li r4, 7
+        li r5, -2
+        div r6, r4, r5    ;  7 / -2 = -3
+        sw r3, 0(r0)
+        sw r6, 1(r0)
+        halt
+        """)
+        assert soc.mem(0) == -3
+        assert soc.mem(1) == -3
+
+    def test_div_is_exact_beyond_float_precision(self):
+        # Regression: int(a / b) detours through a float, losing the low
+        # bits of operands beyond 2**53.  2**60 + 1 is such an operand.
+        a = 2 ** 60 + 1
+        soc = run_core(f"""
+        li r1, {a}
+        li r2, 3
+        div r3, r1, r2
+        li r4, {-a}
+        div r5, r4, r2
+        sw r3, 0(r0)
+        sw r5, 1(r0)
+        halt
+        """)
+        assert soc.mem(0) == a // 3
+        assert soc.mem(1) == -(a // 3)
+        assert soc.mem(0) != int(a / 3)  # the float detour is wrong here
+
     def test_loop_sum(self):
         soc = run_core("""
             li r1, 0      ; sum
