@@ -17,7 +17,9 @@ import pytest
 
 _RESULTS_FILE = os.path.join(os.path.dirname(__file__), "..",
                              "BENCH_RESULTS.json")
-_MAX_RUNS = 50
+# Rotation cap applied per bench, so one frequently-run bench can never
+# evict the history of the others.
+_MAX_RUNS_PER_BENCH = 50
 
 # nodeid -> call-phase duration / headline numbers, gathered per session.
 _DURATIONS = {}
@@ -58,34 +60,54 @@ def pytest_runtest_logreport(report):
         _DURATIONS[report.nodeid] = report.duration
 
 
-def pytest_sessionfinish(session, exitstatus):
-    """Append this run's bench timings + headlines to BENCH_RESULTS.json.
-
-    The file holds the perf *trajectory*: one record per bench run, so a
-    regression shows up as a kink in the series.  Kept to the last
-    ``_MAX_RUNS`` runs.
-    """
-    if not _DURATIONS:
-        return
-    benches = {}
-    for nodeid, seconds in sorted(_DURATIONS.items()):
-        entry = {"seconds": round(seconds, 4)}
-        entry.update(_HEADLINES.get(nodeid, {}))
-        benches[nodeid] = entry
+def _load_series() -> dict:
+    """Load the per-bench history, converting the legacy whole-session
+    ``{"runs": [...]}`` layout into per-bench series on the way in."""
     try:
         with open(_RESULTS_FILE) as handle:
             data = json.load(handle)
-        if not isinstance(data.get("runs"), list):
-            data = {"runs": []}
     except (OSError, ValueError):
-        data = {"runs": []}
-    data["runs"].append({
-        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
-        "benches": benches,
-    })
-    data["runs"] = data["runs"][-_MAX_RUNS:]
+        return {}
+    if not isinstance(data, dict):
+        return {}
+    series = data.get("benches")
+    if isinstance(series, dict):
+        return {nodeid: list(history)
+                for nodeid, history in series.items()
+                if isinstance(history, list)}
+    converted: dict = {}
+    runs = data.get("runs")
+    for run in runs if isinstance(runs, list) else []:
+        if not isinstance(run, dict):
+            continue
+        stamp = run.get("timestamp")
+        benches = run.get("benches")
+        for nodeid, entry in (benches or {}).items():
+            record = dict(entry) if isinstance(entry, dict) else {}
+            record["timestamp"] = stamp
+            converted.setdefault(nodeid, []).append(record)
+    return converted
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Append this run's bench timings + headlines to BENCH_RESULTS.json.
+
+    The file holds the perf *trajectory*: one record per bench per run,
+    so a regression shows up as a kink in that bench's series.  Each
+    bench keeps its last ``_MAX_RUNS_PER_BENCH`` records.
+    """
+    if not _DURATIONS:
+        return
+    series = _load_series()
+    stamp = time.strftime("%Y-%m-%dT%H:%M:%S")
+    for nodeid, seconds in sorted(_DURATIONS.items()):
+        record = {"timestamp": stamp, "seconds": round(seconds, 4)}
+        record.update(_HEADLINES.get(nodeid, {}))
+        history = series.setdefault(nodeid, [])
+        history.append(record)
+        del history[:-_MAX_RUNS_PER_BENCH]
     with open(_RESULTS_FILE, "w") as handle:
-        json.dump(data, handle, indent=2)
+        json.dump({"benches": series}, handle, indent=2)
         handle.write("\n")
 
 

@@ -39,6 +39,7 @@ from repro.desim.kernel import (
 )
 from repro.desim.channels import ChannelClosed, Fifo, Mailbox
 from repro.desim.resources import Mutex, PriorityResource, Resource
+from repro.desim.watchdog import Watchdog, WatchdogTimeout, with_timeout
 
 __all__ = [
     "ChannelClosed",
@@ -57,4 +58,7 @@ __all__ = [
     "Simulator",
     "WaitEvent",
     "WaitProcess",
+    "Watchdog",
+    "WatchdogTimeout",
+    "with_timeout",
 ]

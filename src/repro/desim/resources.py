@@ -41,19 +41,43 @@ class Resource:
         return self.capacity - self.in_use
 
     def acquire(self) -> Generator[Any, Any, None]:
-        """Block until a unit is available, honouring FIFO order."""
+        """Block until a unit is available, honouring FIFO order.
+
+        Cancellation-safe: a waiter that dies mid-wait (killed,
+        interrupted, or failed) removes its ticket on the way out, so
+        the queue never blocks forever on a ghost entry.
+        """
         ticket = self._next_ticket
         self._next_ticket += 1
         self._wait_queue.append(ticket)
+        acquired = False
         if self.in_use >= self.capacity or self._wait_queue[0] != ticket:
             self.contention_count += 1
-        while self.in_use >= self.capacity or self._wait_queue[0] != ticket:
-            yield WaitEvent(self._released)
-        self._wait_queue.popleft()
+        try:
+            while self.in_use >= self.capacity or \
+                    self._wait_queue[0] != ticket:
+                yield WaitEvent(self._released)
+            self._wait_queue.popleft()
+            acquired = True
+        finally:
+            if not acquired:
+                was_head = bool(self._wait_queue) and \
+                    self._wait_queue[0] == ticket
+                try:
+                    self._wait_queue.remove(ticket)
+                except ValueError:
+                    pass
+                # A dead head waiter may have been the only thing keeping
+                # the next ticket blocked.
+                if was_head and self._wait_queue and \
+                        self.in_use < self.capacity:
+                    self._released.trigger(None)
         self.in_use += 1
         self.total_acquisitions += 1
-        # Wake the next ticket too, in case capacity > 1 admits it now.
-        self._released.trigger(None)
+        # Wake the next ticket only when it can actually be admitted now
+        # (capacity > 1); waking it just to re-block is a wakeup storm.
+        if self._wait_queue and self.in_use < self.capacity:
+            self._released.trigger(None)
 
     def try_acquire(self) -> bool:
         """Non-blocking acquire; only succeeds when nobody is queued."""
@@ -67,7 +91,8 @@ class Resource:
         if self.in_use <= 0:
             raise RuntimeError(f"release of idle resource {self.name!r}")
         self.in_use -= 1
-        self._released.trigger(None)
+        if self._wait_queue:
+            self._released.trigger(None)
 
     def __repr__(self) -> str:
         return f"Resource({self.name!r}, {self.in_use}/{self.capacity})"
@@ -91,14 +116,28 @@ class PriorityResource:
         self.total_acquisitions = 0
 
     def acquire(self, priority: int = 10) -> Generator[Any, Any, None]:
+        """Block until granted; cancellation-safe like
+        :meth:`Resource.acquire`."""
         ticket = self._next_ticket
         self._next_ticket += 1
         entry = (priority, ticket)
         self._queue.append(entry)
         self._queue.sort()
-        while self.busy or self._queue[0] != entry:
-            yield WaitEvent(self._released)
-        self._queue.pop(0)
+        acquired = False
+        try:
+            while self.busy or self._queue[0] != entry:
+                yield WaitEvent(self._released)
+            self._queue.pop(0)
+            acquired = True
+        finally:
+            if not acquired:
+                was_head = bool(self._queue) and self._queue[0] == entry
+                try:
+                    self._queue.remove(entry)
+                except ValueError:
+                    pass
+                if was_head and self._queue and not self.busy:
+                    self._released.trigger(None)
         self.busy = True
         self.total_acquisitions += 1
 
@@ -106,7 +145,8 @@ class PriorityResource:
         if not self.busy:
             raise RuntimeError(f"release of idle resource {self.name!r}")
         self.busy = False
-        self._released.trigger(None)
+        if self._queue:
+            self._released.trigger(None)
 
     @property
     def waiting(self) -> int:

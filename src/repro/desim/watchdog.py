@@ -1,0 +1,178 @@
+"""Timeout primitives: :func:`with_timeout` and :class:`Watchdog`.
+
+Section II demands an OS that "in a reactive way" re-allocates resources
+as conditions change; reacting requires *detecting* that something
+stopped responding.  These are the two detection primitives the rest of
+the reproduction builds on:
+
+- :func:`with_timeout` bounds one wait (an event, a process, a channel
+  operation expressed as a generator) and raises
+  :class:`WatchdogTimeout` if it does not complete in time;
+- :class:`Watchdog` monitors a heartbeat: callers :meth:`~Watchdog.kick`
+  it periodically, and if kicks stop for ``timeout`` simulated time
+  units it *bites* (invokes its callback once).  The resilient OS
+  scheduler gives every core a watchdog; a crashed or hung core stops
+  kicking and the bite triggers task restart and migration.
+
+Both are pure event-queue constructions: no polling processes, no
+per-event kernel overhead when unused.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional, Union
+
+from repro.desim.events import Event
+from repro.desim.kernel import (Process, ProcessFailed, Simulator, WaitEvent,
+                                WaitProcess)
+
+
+class WatchdogTimeout(Exception):
+    """Raised by :func:`with_timeout` when the wait exceeds its budget,
+    and passed to a :class:`Watchdog`'s bite callback."""
+
+    def __init__(self, name: str, timeout: float) -> None:
+        super().__init__(f"{name!r} timed out after {timeout} time units")
+        self.name = name
+        self.timeout = timeout
+
+
+_TIMED_OUT = object()  # sentinel payload of the internal race event
+
+
+def with_timeout(sim: Simulator,
+                 target: Union[Event, WaitEvent, WaitProcess, Process,
+                               Generator],
+                 timeout: float,
+                 name: str = "with_timeout") -> Generator[Any, Any, Any]:
+    """Wait on ``target`` for at most ``timeout`` simulated time units.
+
+    Usage from process code::
+
+        value = yield from with_timeout(sim, mailbox.arrived_event, 50.0)
+        item = yield from with_timeout(sim, fifo.get(), 50.0)
+
+    ``target`` may be an :class:`Event` (returns the trigger payload), a
+    :class:`Process` / ``WaitProcess`` (returns the process result,
+    raising :class:`ProcessFailed` if it failed), or a generator (run as
+    a child process; its return value is returned, and it is killed on
+    timeout).  Raises :class:`WatchdogTimeout` when the budget expires
+    first.  Cancellation-safe: if the waiting process is interrupted or
+    killed mid-wait, the timer and any relay waiters are cleaned up.
+    """
+    if timeout < 0:
+        raise ValueError(f"negative timeout: {timeout}")
+    race = Event(f"{name}.race")
+
+    def relay(payload: Any) -> None:
+        race.trigger(("ok", payload))
+
+    child: Optional[Process] = None
+    watched: Optional[Event] = None
+    if isinstance(target, WaitEvent):
+        target = target.event
+    if isinstance(target, WaitProcess):
+        target = target.process
+    if isinstance(target, Process):
+        if not target.alive:
+            if target.error is not None:
+                raise ProcessFailed(target, target.error)
+            return target.result
+        watched = target.done
+    elif isinstance(target, Event):
+        watched = target
+    else:
+        child = sim.spawn(target, name=f"{name}.body")
+        watched = child.done
+    watched.add_waiter(relay)
+    timer = sim.after(timeout, lambda: race.trigger(_TIMED_OUT))
+    try:
+        payload = yield WaitEvent(race)
+    finally:
+        sim.cancel(timer)
+        watched.remove_waiter(relay)
+    if payload is _TIMED_OUT:
+        if child is not None and child.alive:
+            sim.kill(child)
+        raise WatchdogTimeout(name, timeout)
+    _, value = payload
+    if isinstance(value, ProcessFailed):
+        raise value
+    return value
+
+
+class Watchdog:
+    """Heartbeat monitor: bites once if :meth:`kick` stops for ``timeout``.
+
+    The watchdog is armed on construction (or :meth:`start`).  Any code
+    path that proves liveness calls :meth:`kick`; if ``timeout``
+    simulated time passes with no kick, ``on_bite(watchdog)`` runs once
+    and the watchdog disarms (call :meth:`start` to re-arm).
+
+    Implementation: kicks are O(1) timestamp writes; a single pending
+    check event per watchdog re-schedules itself to the current
+    deadline, so a frequently-kicked watchdog costs one kernel event
+    per ``timeout`` interval, not per kick.
+    """
+
+    def __init__(self, sim: Simulator, timeout: float,
+                 on_bite: Callable[["Watchdog"], None],
+                 name: str = "watchdog", start: bool = True) -> None:
+        if timeout <= 0:
+            raise ValueError(f"watchdog timeout must be positive: {timeout}")
+        self.sim = sim
+        self.timeout = timeout
+        self.on_bite = on_bite
+        self.name = name
+        self.kicks = 0
+        self.bites = 0
+        self.armed = False
+        self._last_kick = sim.now
+        self._epoch = 0  # invalidates checks scheduled by older arm cycles
+        if start:
+            self.start()
+
+    def start(self) -> None:
+        """Arm (or re-arm) the watchdog; the kick clock restarts now."""
+        self._epoch += 1
+        self.armed = True
+        self._last_kick = self.sim.now
+        self._schedule_check(self._last_kick + self.timeout, self._epoch)
+
+    def kick(self) -> None:
+        """Prove liveness; pushes the bite deadline to ``now + timeout``."""
+        self.kicks += 1
+        self._last_kick = self.sim.now
+
+    def stop(self) -> None:
+        """Disarm; a pending check becomes a no-op."""
+        self.armed = False
+        self._epoch += 1
+
+    @property
+    def deadline(self) -> float:
+        """Sim time at which the watchdog bites absent further kicks."""
+        return self._last_kick + self.timeout
+
+    def _schedule_check(self, at: float, epoch: int) -> None:
+        self.sim.at(at, lambda: self._check(epoch))
+
+    def _check(self, epoch: int) -> None:
+        if not self.armed or epoch != self._epoch:
+            return
+        deadline = self._last_kick + self.timeout
+        if self.sim.now + 1e-12 >= deadline:
+            self.bites += 1
+            self.armed = False
+            self._epoch += 1
+            self.on_bite(self)
+        else:
+            self._schedule_check(deadline, epoch)
+
+    def __repr__(self) -> str:
+        state = "armed" if self.armed else "disarmed"
+        return (f"Watchdog({self.name!r}, {state}, kicks={self.kicks}, "
+                f"bites={self.bites})")
+
+
+__all__ = ["Watchdog", "WatchdogTimeout", "with_timeout"]

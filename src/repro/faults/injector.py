@@ -1,0 +1,236 @@
+"""The fault injector: applies a :class:`~repro.faults.plan.FaultPlan`
+to a live simulation, deterministically.
+
+Scheduled faults are posted on the kernel's event queue at their exact
+sim times; per-message rules are evaluated by a hook the NoC transport
+calls once per transmission, drawing from one derived RNG stream in
+kernel-event order (which the desim kernel keeps deterministic).  The
+injector also installs itself as a :class:`~repro.desim.SimObserver`
+so process failures anywhere in the system surface as fault-correlated
+trace events -- and so virtual-platform cores drop to the event-exact
+per-instruction path while a campaign is active (bit flips land between
+the same two instructions on every run).
+
+Subsystems opt in by *registering handlers* for fault kinds (the
+resilient OS scheduler registers ``core_crash``/``core_hang``; a SoC
+registers ``ram_flip``/``reg_flip``/``irq_stuck`` via
+:meth:`FaultInjector.attach_soc`).  A scheduled fault with no handler is
+recorded as unhandled -- a plan is allowed to out-run the attached
+system, never to crash it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.desim.kernel import Process, SimObserver, Simulator
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.obs.metrics import MetricsRegistry
+
+Handler = Callable[[FaultSpec], bool]
+
+
+class FaultInjector(SimObserver):
+    """Applies a seeded :class:`FaultPlan` to one :class:`Simulator`.
+
+    ``sink``/``metrics`` receive every injected fault (instants on the
+    ``faults`` track; ``faults.injected[.<kind>]`` counters) and every
+    process failure observed kernel-wide.  With no injector attached a
+    simulation pays nothing -- the chaos path exists only here.
+    """
+
+    def __init__(self, sim: Simulator, plan: FaultPlan,
+                 sink: Optional[Any] = None,
+                 metrics: Optional[MetricsRegistry] = None,
+                 track: str = "faults",
+                 observe_kernel: bool = True) -> None:
+        self.sim = sim
+        self.plan = plan
+        self.sink = sink
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.track = track
+        self.injected: List[FaultSpec] = []
+        self.unhandled: List[FaultSpec] = []
+        self._handlers: Dict[Tuple[str, Any], Handler] = {}
+        self._noc_rng = plan.rng("noc")
+        self._stuck_releases: List[Callable[[], None]] = []
+        self.register("kill_process", None, self._kill_process_handler)
+        if observe_kernel:
+            sim.add_observer(self)
+        for spec in plan.scheduled:
+            if spec.time >= sim.now:
+                self.sim.at(spec.time, lambda spec=spec: self._fire(spec))
+
+    # ------------------------------------------------------------------
+    # handler registry
+    # ------------------------------------------------------------------
+    def register(self, kind: str, target: Any, handler: Handler) -> None:
+        """Install a handler for ``(kind, target)``; ``target=None``
+        catches every target of that kind."""
+        self._handlers[(kind, target)] = handler
+
+    def unregister(self, kind: str, target: Any) -> None:
+        self._handlers.pop((kind, target), None)
+
+    def _fire(self, spec: FaultSpec) -> None:
+        handler = self._handlers.get((spec.kind, spec.target))
+        if handler is None:
+            handler = self._handlers.get((spec.kind, None))
+        applied = bool(handler(spec)) if handler is not None else False
+        if applied:
+            self.injected.append(spec)
+            self.metrics.counter("faults.injected").inc()
+            self.metrics.counter(f"faults.injected.{spec.kind}").inc()
+        else:
+            self.unhandled.append(spec)
+            self.metrics.counter("faults.unhandled").inc()
+        if self.sink is not None:
+            self.sink.instant(f"fault.{spec.kind}", track=self.track,
+                              ts=self.sim.now, target=spec.target,
+                              applied=applied, **spec.as_dict())
+
+    # ------------------------------------------------------------------
+    # built-in generic handlers
+    # ------------------------------------------------------------------
+    def _kill_process_handler(self, spec: FaultSpec) -> bool:
+        for proc in self.sim.processes:
+            if proc.name == spec.target and proc.alive:
+                self.sim.kill(proc)
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # recovery-side observability (subsystems report through this)
+    # ------------------------------------------------------------------
+    def note_recovery(self, action: str, mttr: Optional[float] = None,
+                      **details: Any) -> None:
+        """Record a recovery action (task restart, retransmit success,
+        ...).  ``mttr`` feeds the ``faults.mttr`` histogram: sim time
+        from fault to restored service."""
+        self.metrics.counter("faults.recoveries").inc()
+        self.metrics.counter(f"faults.recoveries.{action}").inc()
+        if mttr is not None:
+            self.metrics.histogram("faults.mttr").observe(mttr)
+        if self.sink is not None:
+            self.sink.instant(f"recover.{action}", track=self.track,
+                              ts=self.sim.now, mttr=mttr, **details)
+
+    # ------------------------------------------------------------------
+    # NoC attachment: per-transmission probabilistic faults
+    # ------------------------------------------------------------------
+    def attach_noc(self, noc: Any) -> None:
+        """Point a :class:`~repro.manycore.messaging.NoCModel`'s fault
+        hook at this injector's message rules."""
+        noc.fault_hook = self.message_faults
+        if noc.sink is None:
+            noc.sink = self.sink
+        if noc.metrics is None:
+            noc.metrics = self.metrics
+
+    def message_faults(self, message: Any) -> Optional[Dict[str, Any]]:
+        """Decide the fate of one transmission (called by the NoC).
+
+        Exactly one uniform draw per configured rule per call, so RNG
+        consumption -- and therefore the whole campaign -- is a pure
+        function of (seed, transmission order).
+        """
+        rules = self.plan.message_rules
+        if not rules:
+            return None
+        rng = self._noc_rng
+        actions: Dict[str, Any] = {}
+        rule = rules.get("drop")
+        if rule is not None and rng.random() < rule.probability:
+            actions["drop"] = True
+        rule = rules.get("duplicate")
+        if rule is not None and rng.random() < rule.probability:
+            actions["duplicate"] = True
+        rule = rules.get("delay")
+        if rule is not None and rng.random() < rule.probability:
+            actions["extra_delay"] = rule.max_extra * rng.random()
+        rule = rules.get("corrupt")
+        if rule is not None and rng.random() < rule.probability:
+            actions["corrupt"] = True
+        if not actions:
+            return None
+        self.metrics.counter("faults.message_faults").inc()
+        return actions
+
+    # ------------------------------------------------------------------
+    # SoC attachment: RAM / register / interrupt faults
+    # ------------------------------------------------------------------
+    def attach_soc(self, soc: Any) -> None:
+        """Register handlers for hardware-level transient faults on a
+        :class:`~repro.vp.soc.SoC` (RAM bit flips, register bit flips,
+        stuck interrupt lines)."""
+
+        def ram_flip(spec: FaultSpec) -> bool:
+            addr = spec.param("addr")
+            bit = spec.param("bit", 0)
+            if addr is None or not 0 <= addr < soc.ram.size:
+                return False
+            soc.ram.words[addr] ^= (1 << bit)
+            return True
+
+        def reg_flip(spec: FaultSpec) -> bool:
+            core = spec.target
+            reg = spec.param("reg")
+            bit = spec.param("bit", 0)
+            if core is None or not 0 <= core < len(soc.cores) or reg is None:
+                return False
+            cpu = soc.cores[core]
+            if not 0 < reg < len(cpu.regs):  # r0 is hardwired to zero
+                return False
+            cpu.regs[reg] ^= (1 << bit)
+            return True
+
+        def irq_stuck(spec: FaultSpec) -> bool:
+            core = spec.target
+            if core is None or not 0 <= core < len(soc.cores):
+                return False
+            line = soc.cores[core].irq
+
+            def hold(_payload: Any) -> None:
+                if not line.read():
+                    line.write(1)
+
+            line.negedge.subscribe(hold)
+            line.write(1)
+
+            def release() -> None:
+                line.negedge.unsubscribe(hold)
+                line.write(0)
+
+            self._stuck_releases.append(release)
+            duration = spec.param("duration")
+            if duration is not None:
+                self.sim.after(duration, release)
+            return True
+
+        self.register("ram_flip", None, ram_flip)
+        self.register("reg_flip", None, reg_flip)
+        self.register("irq_stuck", None, irq_stuck)
+
+    def release_stuck_interrupts(self) -> None:
+        """Clear every stuck interrupt line this injector asserted."""
+        releases, self._stuck_releases = self._stuck_releases, []
+        for release in releases:
+            release()
+
+    # ------------------------------------------------------------------
+    # SimObserver: fault-correlated failure monitoring
+    # ------------------------------------------------------------------
+    def on_process_finish(self, sim: Simulator, proc: Process) -> None:
+        if proc.error is not None:
+            self.metrics.counter("faults.process_failures").inc()
+            if self.sink is not None:
+                self.sink.instant("process_failed", track=self.track,
+                                  ts=sim.now, process=proc.name,
+                                  error=repr(proc.error))
+
+    def __repr__(self) -> str:
+        return (f"FaultInjector({self.plan!r}, injected="
+                f"{len(self.injected)}, unhandled={len(self.unhandled)})")
+
+
+__all__ = ["FaultInjector", "Handler"]

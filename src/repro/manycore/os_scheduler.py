@@ -16,19 +16,27 @@ workload:
 - :func:`run_time_shared` -- everything round-robins on every core;
 - :func:`run_space_shared` -- every app gets dedicated cores, queued EDF;
 - :func:`run_hybrid` -- sequential apps time-share a small pool, parallel
-  (real-time) apps space-share the rest.
+  (real-time) apps space-share the rest;
+- :func:`run_resilient` -- time-shared scheduling that survives injected
+  core crashes/hangs: per-core heartbeat watchdogs detect a silent core,
+  restart its in-flight task from the last slice boundary and migrate it
+  to a surviving core (section II's "reactive" resource re-allocation).
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, List, Optional, Sequence
+from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Sequence
 
 from repro.desim import Delay, Event, Simulator, WaitEvent
+from repro.desim.watchdog import Watchdog
 from repro.manycore.machine import Core, Machine
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import TraceSink
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, no runtime dependency
+    from repro.faults import FaultInjector
 
 
 @dataclass
@@ -440,5 +448,212 @@ def run_hybrid(machine: Machine, apps: Sequence[AppSpec],
     return merged
 
 
+# ---------------------------------------------------------------------------
+# resilient time-sharing: heartbeat watchdogs, task restart + migration
+# ---------------------------------------------------------------------------
+
+def run_resilient(machine: Machine, apps: Sequence[AppSpec],
+                  quantum: float = 1.0,
+                  ctx_overhead: float = 0.01,
+                  heartbeat_timeout: Optional[float] = None,
+                  injector: Optional["FaultInjector"] = None,
+                  sink: Optional[TraceSink] = None,
+                  metrics: Optional[MetricsRegistry] = None) -> ScheduleOutcome:
+    """Round-robin time sharing that survives core crashes and hangs.
+
+    Every core gets a :class:`~repro.desim.Watchdog` armed while it is
+    executing slices and kicked at each slice boundary.  An ``injector``
+    (see :mod:`repro.faults`) may crash a core (its process dies
+    silently, mid-slice) or hang it (the process stalls at the next
+    slice boundary without dying).  Either way the heartbeat stops, the
+    watchdog bites, and recovery runs: the core is reaped, its in-flight
+    thread is rolled back to the last slice boundary and re-queued, and
+    a surviving core picks it up -- task restart plus migration, visible
+    as ``recover.core_dead`` trace instants, ``os.core_deaths`` /
+    ``os.task_restarts`` counters and the ``os.mttr`` histogram
+    (fault-to-recovery sim time).
+
+    ``heartbeat_timeout`` must exceed one slice duration
+    (``quantum + ctx_overhead``); it defaults to three slice durations.
+    A plan that kills every core leaves the remaining apps recorded
+    with ``finish == inf`` rather than deadlocking.
+    """
+    slice_duration = quantum + ctx_overhead
+    if heartbeat_timeout is None:
+        heartbeat_timeout = 3.0 * slice_duration
+    if heartbeat_timeout <= slice_duration:
+        raise ValueError(
+            f"heartbeat_timeout ({heartbeat_timeout}) must exceed one "
+            f"slice duration ({slice_duration}) or every slice bites")
+    sim = injector.sim if injector is not None else Simulator()
+    metrics = metrics if metrics is not None else (
+        injector.metrics if injector is not None else MetricsRegistry())
+    if sink is None and injector is not None:
+        sink = injector.sink
+    outcome = ScheduleOutcome("resilient", metrics=metrics)
+    ready: Deque[_Thread] = deque()
+    states: List[_AppState] = []
+    work_event = Event("work")
+    remaining_apps = len(apps)
+    switch_counter = metrics.counter("os.context_switches")
+    migration_counter = metrics.counter("os.migrations")
+    restart_counter = metrics.counter("os.task_restarts")
+    death_counter = metrics.counter("os.core_deaths")
+    mttr_hist = metrics.histogram("os.mttr")
+
+    core_procs: Dict[int, "Any"] = {}
+    watchdogs: Dict[int, Watchdog] = {}
+    dead: Dict[int, bool] = {}
+    hung: Dict[int, bool] = {}
+    fault_at: Dict[int, float] = {}
+    # Per-core in-flight slice state, for restart-from-slice-boundary.
+    current: Dict[int, Optional[_Thread]] = {}
+    slice_start_remaining: Dict[int, float] = {}
+
+    def arrival_proc(spec: AppSpec):
+        if spec.arrival > 0:
+            yield Delay(spec.arrival)
+        state = _AppState(spec)
+        states.append(state)
+        for thread in state.make_threads():
+            ready.append(thread)
+        work_event.trigger(None)
+
+    def make_bite(core_id: int):
+        def bite(wd: Watchdog) -> None:
+            proc = core_procs.get(core_id)
+            if proc is not None and proc.alive:
+                sim.kill(proc)
+            dead[core_id] = True
+            death_counter.inc()
+            thread = current.get(core_id)
+            current[core_id] = None
+            # MTTR from the injected fault time when known, else from
+            # the last observed heartbeat (the honest detector view).
+            mttr = sim.now - fault_at.get(core_id,
+                                          wd.deadline - wd.timeout)
+            mttr_hist.observe(mttr)
+            if thread is not None:
+                thread.remaining = slice_start_remaining.get(
+                    core_id, thread.remaining)
+                ready.append(thread)
+                restart_counter.inc()
+                work_event.trigger(None)
+            if sink is not None:
+                sink.instant("recover.core_dead", track="os", ts=sim.now,
+                             core=core_id, mttr=mttr,
+                             task_restarted=thread is not None)
+            if injector is not None:
+                injector.note_recovery("core_reap", mttr=mttr,
+                                       core=core_id,
+                                       task_restarted=thread is not None)
+        return bite
+
+    def make_crash_handler(core_id: int):
+        def crash(spec) -> bool:
+            if dead.get(core_id):
+                return False
+            fault_at[core_id] = sim.now
+            proc = core_procs.get(core_id)
+            if proc is not None and proc.alive:
+                sim.kill(proc)
+            wd = watchdogs[core_id]
+            if not wd.armed:
+                # Crashed while idle: nothing in flight to recover, but
+                # the core must still be reaped or it silently vanishes.
+                wd.start()
+            return True
+        return crash
+
+    def make_hang_handler(core_id: int):
+        def hang(spec) -> bool:
+            if dead.get(core_id) or hung.get(core_id):
+                return False
+            fault_at[core_id] = sim.now
+            hung[core_id] = True
+            wd = watchdogs[core_id]
+            if not wd.armed:
+                wd.start()  # an idle hung core must still be detected
+            return True
+        return hang
+
+    def core_proc(core: Core):
+        nonlocal remaining_apps
+        core_id = core.core_id
+        wd = watchdogs[core_id]
+        hang_forever = Event(f"core{core_id}.hang")
+        while remaining_apps > 0 and not dead.get(core_id):
+            if hung.get(core_id):
+                # Hung: alive but unresponsive.  Keep the watchdog armed
+                # and stop kicking -- the bite reaps this process.
+                if not wd.armed:
+                    wd.start()
+                yield WaitEvent(hang_forever)
+                continue  # pragma: no cover - hang_forever never fires
+            thread = _pop_matching(ready, core.isa)
+            if thread is None:
+                # Idle cores disarm their watchdog (no heartbeat needed:
+                # an idle core holds no work to lose) and sleep.
+                wd.stop()
+                yield WaitEvent(work_event)
+                continue
+            if wd.armed:
+                wd.kick()
+            else:
+                wd.start()
+            if thread.last_core is not None and \
+                    thread.last_core != core.core_id:
+                migration_counter.inc()
+            thread.last_core = core.core_id
+            current[core_id] = thread
+            slice_start_remaining[core_id] = thread.remaining
+            slice_work = min(quantum * core.freq, thread.remaining)
+            duration = slice_work / core.freq + ctx_overhead
+            outcome.context_switches += 1
+            switch_counter.inc()
+            if sink is not None:
+                sink.complete(
+                    f"{thread.app.spec.name}.t{thread.index}",
+                    ts=sim.now, dur=duration,
+                    track=f"os/core{core.core_id}")
+            yield Delay(duration)
+            wd.kick()  # slice completed: proof of liveness
+            current[core_id] = None
+            thread.remaining -= slice_work
+            if thread.remaining <= 1e-12:
+                thread.app.unfinished -= 1
+                if thread.app.unfinished == 0:
+                    thread.app.finish = sim.now
+                    _record(outcome, thread.app, sim.now)
+                    remaining_apps -= 1
+                    work_event.trigger(None)
+            else:
+                ready.append(thread)
+                work_event.trigger(None)
+        wd.stop()
+
+    for core in machine.cores:
+        watchdogs[core.core_id] = Watchdog(
+            sim, heartbeat_timeout, make_bite(core.core_id),
+            name=f"core{core.core_id}.watchdog", start=False)
+        if injector is not None:
+            injector.register("core_crash", core.core_id,
+                              make_crash_handler(core.core_id))
+            injector.register("core_hang", core.core_id,
+                              make_hang_handler(core.core_id))
+    for spec in apps:
+        sim.spawn(arrival_proc(spec), name=f"arrive.{spec.name}")
+    for core in machine.cores:
+        core_procs[core.core_id] = sim.spawn(core_proc(core),
+                                             name=f"core{core.core_id}")
+    sim.run()
+    # Threads stranded with no surviving core: the app can never finish.
+    for state in states:
+        if state.finish is None and state.unfinished > 0:
+            _record(outcome, state, float("inf"))
+    return outcome
+
+
 __all__ = ["AppResult", "AppSpec", "ScheduleOutcome", "expand_periodic",
-           "run_hybrid", "run_space_shared", "run_time_shared"]
+           "run_hybrid", "run_resilient", "run_space_shared",
+           "run_time_shared"]

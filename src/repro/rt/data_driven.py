@@ -37,6 +37,10 @@ class DataDrivenResult:
     duplicates: int = 0          # internal corruption (must stay 0)
     jobs_run: int = 0
     fifo_occupancy: Dict[str, int] = field(default_factory=dict)
+    # Deadline handling (see run_data_driven's deadline_policy).
+    degraded_firings: int = 0    # firings shortened while under pressure
+    skipped_firings: int = 0     # firings passed through while under pressure
+    deadline_policy: Optional[str] = None
     # Observability registry: per-stage firings, execution-time histograms
     # and boundary-corruption counters.
     metrics: Optional[MetricsRegistry] = None
@@ -44,6 +48,11 @@ class DataDrivenResult:
     @property
     def internal_corruptions(self) -> int:
         return self.out_of_order + self.duplicates
+
+    @property
+    def deadline_misses(self) -> int:
+        """Sink-boundary deadline misses (alias of ``sink_misses``)."""
+        return self.sink_misses
 
     @property
     def boundary_corruptions(self) -> int:
@@ -57,7 +66,9 @@ class DataDrivenResult:
 def run_data_driven(spec: PipelineSpec, jobs: int,
                     fifo_capacity: int = 2,
                     sink: Optional[TraceSink] = None,
-                    metrics: Optional[MetricsRegistry] = None) -> DataDrivenResult:
+                    metrics: Optional[MetricsRegistry] = None,
+                    deadline_policy: Optional[str] = None,
+                    degrade_factor: float = 0.5) -> DataDrivenResult:
     """Execute ``jobs`` pipeline iterations under the data-driven executive.
 
     ``fifo_capacity`` is the per-edge buffer capacity computed at design
@@ -65,21 +76,44 @@ def run_data_driven(spec: PipelineSpec, jobs: int,
     more source-boundary drops for less memory, but never internal
     corruption.
 
+    ``deadline_policy`` reacts to sink-boundary deadline misses with a
+    *pressure* flag (set on a miss, cleared on the next hit):
+
+    - ``None`` (default): historical behaviour, misses only counted;
+    - ``"degrade"``: while under pressure every firing runs a cheaper
+      approximation (``execution * degrade_factor``) so the pipeline
+      catches up at reduced quality;
+    - ``"skip"``: while under pressure stages pass data through without
+      computing (zero execution time) -- maximal load shedding.
+
     With a ``sink`` each stage firing becomes a span on the ``rt/<stage>``
     track and each sink miss an instant; ``metrics`` accumulates firings
     and execution-time histograms.
     """
+    if deadline_policy not in (None, "skip", "degrade"):
+        raise ValueError(f"unknown deadline_policy: {deadline_policy!r}")
+    if not 0.0 < degrade_factor <= 1.0:
+        raise ValueError(f"degrade_factor must be in (0, 1]: {degrade_factor}")
     spec.validate()
     sim = Simulator()
     metrics = metrics if metrics is not None else MetricsRegistry()
-    result = DataDrivenResult(metrics=metrics)
+    result = DataDrivenResult(metrics=metrics, deadline_policy=deadline_policy)
     stage_count = len(spec.stages)
     fifos = [Fifo(capacity=fifo_capacity, name=f"q{k}")
              for k in range(stage_count - 1)]
+    pressure = [False]  # set by a sink miss, cleared by the next hit
 
     def fire(stage, job: int) -> float:
         """Account one stage firing; returns its execution time."""
         execution = stage.execution_time(job)
+        if pressure[0] and deadline_policy == "degrade":
+            execution *= degrade_factor
+            result.degraded_firings += 1
+            metrics.counter("dd.degraded_firings").inc()
+        elif pressure[0] and deadline_policy == "skip":
+            execution = 0.0
+            result.skipped_firings += 1
+            metrics.counter("dd.skipped_firings").inc()
         metrics.counter(f"dd.{stage.name}.firings").inc()
         metrics.histogram(f"dd.{stage.name}.exec_time").observe(execution)
         if sink is not None:
@@ -138,10 +172,12 @@ def run_data_driven(spec: PipelineSpec, jobs: int,
                 yield Delay(trigger - sim.now)
             if inbox.empty:
                 result.sink_misses += 1
+                pressure[0] = True
                 metrics.counter("dd.sink_misses").inc()
                 if sink is not None:
                     sink.instant("sink_miss", track=f"rt/{stage.name}",
-                                 ts=sim.now, job=job)
+                                 ts=sim.now, job=job,
+                                 policy=deadline_policy)
                 result.delivered.append(DeliveredItem(job, None, sim.now))
             else:
                 value = inbox.get_nowait()
@@ -149,6 +185,7 @@ def run_data_driven(spec: PipelineSpec, jobs: int,
                     result.duplicates += 1
                 last_seen = value
                 yield Delay(fire(stage, job))
+                pressure[0] = False
                 result.delivered.append(DeliveredItem(job, value, sim.now))
             job += 1
 

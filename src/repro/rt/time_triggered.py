@@ -61,6 +61,11 @@ class TimeTriggeredResult:
     stale_reads_by_stage: Dict[str, int] = field(default_factory=dict)
     jobs_run: int = 0
     schedule_offsets: Dict[str, float] = field(default_factory=dict)
+    # Deadline handling (see run_time_triggered's overrun_policy).
+    deadline_misses: int = 0         # firings whose demand exceeded the slot
+    jobs_skipped: int = 0            # firings aborted by policy="skip"
+    degraded_jobs: int = 0           # firings shortened by policy="degrade"
+    overrun_policy: Optional[str] = None
     # Observability registry: per-stage firings, slot overruns (actual
     # execution time exceeded the WCET estimate), execution-time histogram.
     metrics: Optional[MetricsRegistry] = None
@@ -100,14 +105,34 @@ def compute_offsets(spec: PipelineSpec,
 
 def run_time_triggered(spec: PipelineSpec, jobs: int,
                        sink: Optional[TraceSink] = None,
-                       metrics: Optional[MetricsRegistry] = None) -> TimeTriggeredResult:
+                       metrics: Optional[MetricsRegistry] = None,
+                       overrun_policy: Optional[str] = None,
+                       degrade_factor: float = 0.5) -> TimeTriggeredResult:
     """Execute ``jobs`` pipeline iterations under the time-triggered
     executive and report delivery/corruption statistics.
 
+    ``overrun_policy`` decides what happens when a firing's execution
+    demand exceeds its WCET slot (a deadline miss, always detected and
+    counted):
+
+    - ``None`` (default): historical behaviour -- the stage runs long
+      and lateness cascades into stale reads/overwrites downstream;
+    - ``"skip"``: the executive aborts the firing at its slot boundary;
+      the stage writes no output for that job (downstream sees the
+      previous value) but the *schedule* never slips;
+    - ``"degrade"``: the stage falls back to a cheaper approximation
+      (``execution * degrade_factor``, capped at the slot) and still
+      writes its output -- graceful quality loss instead of corruption.
+
     With a ``sink`` each stage execution becomes a span on the
-    ``rt/<stage>`` track and every stale read an instant; ``metrics``
-    accumulates firings, slot overruns and execution-time histograms.
+    ``rt/<stage>`` track and every stale read / deadline miss an
+    instant; ``metrics`` accumulates firings, slot overruns and
+    execution-time histograms.
     """
+    if overrun_policy not in (None, "skip", "degrade"):
+        raise ValueError(f"unknown overrun_policy: {overrun_policy!r}")
+    if not 0.0 < degrade_factor <= 1.0:
+        raise ValueError(f"degrade_factor must be in (0, 1]: {degrade_factor}")
     spec.validate()
     if sum(stage.wcet_estimate for stage in spec.stages) > spec.period:
         raise ValueError(
@@ -116,7 +141,8 @@ def run_time_triggered(spec: PipelineSpec, jobs: int,
     offsets = compute_offsets(spec)
     metrics = metrics if metrics is not None else MetricsRegistry()
     result = TimeTriggeredResult(schedule_offsets=dict(offsets),
-                                 metrics=metrics)
+                                 metrics=metrics,
+                                 overrun_policy=overrun_policy)
     result.stale_reads_by_stage = {s.name: 0 for s in spec.stages}
 
     stage_count = len(spec.stages)
@@ -145,16 +171,37 @@ def run_time_triggered(spec: PipelineSpec, jobs: int,
                         sink.instant("stale_read", track=f"rt/{stage.name}",
                                      ts=sim.now, job=job, got=seq)
             execution = stage.execution_time(job)
+            overrun = execution > stage.wcet_estimate
+            skipped = False
             metrics.counter(f"tt.{stage.name}.firings").inc()
-            metrics.histogram(f"tt.{stage.name}.exec_time").observe(execution)
-            if execution > stage.wcet_estimate:
+            if overrun:
                 metrics.counter(f"tt.{stage.name}.slot_overruns").inc()
+                result.deadline_misses += 1
+                metrics.counter("tt.deadline_misses").inc()
+                if sink is not None:
+                    sink.instant("deadline_miss", track=f"rt/{stage.name}",
+                                 ts=sim.now, job=job, demand=execution,
+                                 budget=stage.wcet_estimate,
+                                 policy=overrun_policy)
+                if overrun_policy == "skip":
+                    execution = stage.wcet_estimate
+                    skipped = True
+                    result.jobs_skipped += 1
+                    metrics.counter("tt.jobs_skipped").inc()
+                elif overrun_policy == "degrade":
+                    execution = min(execution * degrade_factor,
+                                    stage.wcet_estimate)
+                    result.degraded_jobs += 1
+                    metrics.counter("tt.degraded_jobs").inc()
+            metrics.histogram(f"tt.{stage.name}.exec_time").observe(execution)
             if sink is not None:
                 sink.complete(f"{stage.name}#{job}", ts=sim.now,
                               dur=execution, track=f"rt/{stage.name}",
-                              overrun=execution > stage.wcet_estimate)
+                              overrun=overrun)
             yield Delay(execution)
-            if stage_index + 1 < stage_count:
+            if skipped:
+                pass  # aborted firing: no output write, no delivery
+            elif stage_index + 1 < stage_count:
                 register = registers[stage_index + 1]
                 before = register.overwrites_unread
                 register.write(seq if seq is not None else job,

@@ -172,6 +172,15 @@ class SoC:
                         trace_memory=trace_memory, sink=sink)
         return tracer, probe
 
+    def attach_faults(self, injector) -> None:
+        """Register this platform's hardware-fault handlers (RAM and
+        register bit flips, stuck interrupt lines) on a
+        :class:`~repro.faults.FaultInjector`.  The injector's kernel
+        observer also forces every core onto the event-exact
+        per-instruction path, so flips land between the same two
+        instructions on every run."""
+        injector.attach_soc(self)
+
     # ------------------------------------------------------------------
     def signals(self) -> Dict[str, Signal]:
         """Every observable signal in the platform, by name."""
