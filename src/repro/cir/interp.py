@@ -579,10 +579,31 @@ def _c_div(left: Any, right: Any) -> Any:
 
 
 def _c_mod(left: Any, right: Any) -> Any:
+    if isinstance(left, float) or isinstance(right, float):
+        # C rejects % on floating operands (use fmod); silently computing
+        # a float remainder here would diverge from any compiled target.
+        raise InterpError("invalid operands to %: floats are not allowed")
     if right == 0:
         raise InterpError("modulo by zero")
     remainder = abs(left) % abs(right)
     return remainder if left >= 0 else -remainder
+
+
+def _wrap32(value: int) -> int:
+    """Reduce to the signed 32-bit two's-complement image (the ISS word
+    size -- see repro.vp.iss)."""
+    value &= 0xFFFFFFFF
+    return value - 0x1_0000_0000 if value & 0x8000_0000 else value
+
+
+def _c_shl(left: Any, right: Any) -> int:
+    # 32-bit semantics as executed by the ISS: result wraps to a signed
+    # word, shift count uses the low 5 bits.
+    return _wrap32((int(left) & 0xFFFFFFFF) << (int(right) & 31))
+
+
+def _c_shr(left: Any, right: Any) -> int:
+    return _wrap32(int(left)) >> (int(right) & 31)
 
 
 _BIN_HANDLERS: Dict[str, Callable[[Any, Any], Any]] = {
@@ -597,8 +618,8 @@ _BIN_HANDLERS: Dict[str, Callable[[Any, Any], Any]] = {
     ">": lambda a, b: 1 if a > b else 0,
     "<=": lambda a, b: 1 if a <= b else 0,
     ">=": lambda a, b: 1 if a >= b else 0,
-    "<<": lambda a, b: int(a) << int(b),
-    ">>": lambda a, b: int(a) >> int(b),
+    "<<": _c_shl,
+    ">>": _c_shr,
     "&": lambda a, b: int(a) & int(b),
     "|": lambda a, b: int(a) | int(b),
     "^": lambda a, b: int(a) ^ int(b),

@@ -28,8 +28,14 @@ def throughput_self_timed(graph: SDFGraph, iterations: int = 50,
     """Steady-state iterations/time from a self-timed run.
 
     Runs ``warmup + iterations`` graph iterations and measures the rate of
-    a reference actor over the post-warmup window.
+    a reference actor over the post-warmup window.  The window spans from
+    the first firing of iteration ``warmup`` to the first firing of the
+    last iteration, so at least two measured iterations are required --
+    with one the window is a single point and no rate exists.
     """
+    if iterations < 2:
+        raise ValueError("throughput_self_timed needs iterations >= 2 "
+                         "to measure a rate")
     reps = firings_per_iteration(graph)
     total = warmup + iterations
     result = simulate_self_timed(

@@ -35,6 +35,13 @@ from repro.manycore.machine import Machine
 # {"corrupt": True}, {"extra_delay": float} -- combinable except drop.
 FaultHook = Callable[["Message"], Optional[Dict[str, Any]]]
 
+# A happens-before hook observes synchronization edges: ("send", m) when
+# a message leaves the sender, ("deliver", m) when it reaches the
+# destination mailbox, and in reliable mode ("ack_sent", m) /
+# ("acked", m) for the receiver->sender ack edge.  Pure observation --
+# see repro.sanitize.noc.NoCOrderTracker.
+HBHook = Callable[[str, "Message"], None]
+
 
 def _checksum(payload: Any) -> int:
     """Cheap deterministic payload digest for corruption detection."""
@@ -105,6 +112,7 @@ class NoCModel:
         self.sink = sink
         self.metrics = metrics
         self.fault_hook: Optional[FaultHook] = None
+        self.hb_hook: Optional[HBHook] = None
         self.mailboxes: Dict[int, Mailbox] = {
             core.core_id: Mailbox(f"mbox{core.core_id}")
             for core in machine.cores}
@@ -134,6 +142,8 @@ class NoCModel:
             raise KeyError(f"no core {dst}")
         message = Message(src, dst, payload, size_words, tag,
                           sent_at=self.sim.now)
+        if self.hb_hook is not None:
+            self.hb_hook("send", message)
         if not self.reliable and self.fault_hook is None:
             # Fast path: exactly the historical best-effort transport.
             arrival = self.sim.now + self.latency_for(src, dst, size_words)
@@ -145,6 +155,8 @@ class NoCModel:
                 message.delivered_at = self.sim.now
                 self.total_latency += message.latency
                 self.mailboxes[dst].send(message, sender=str(src))
+                if self.hb_hook is not None:
+                    self.hb_hook("deliver", message)
 
             self.sim.at(arrival, deliver)
             self.messages_sent += 1
@@ -223,6 +235,8 @@ class NoCModel:
             self.total_latency += message.latency
             self.mailboxes[message.dst].send(message,
                                              sender=str(message.src))
+            if self.hb_hook is not None:
+                self.hb_hook("deliver", message)
             return
         if corrupted:
             # Checksum mismatch at the receiver: discard, no ack -- the
@@ -242,10 +256,14 @@ class NoCModel:
             self.mailboxes[message.dst].send(message,
                                              sender=str(message.src))
             self._count("noc.delivered")
+            if self.hb_hook is not None:
+                self.hb_hook("deliver", message)
         # Ack even a duplicate: the original ack may have been lost.
         self._send_ack(message)
 
     def _send_ack(self, message: Message) -> None:
+        if self.hb_hook is not None:
+            self.hb_hook("ack_sent", message)
         ack = Message(message.dst, message.src, ("ack", message.seq),
                       size_words=1, tag="__ack__", sent_at=self.sim.now,
                       seq=message.seq)
@@ -264,6 +282,8 @@ class NoCModel:
         if message is None:
             return  # already acked (duplicate ack)
         self._count("noc.acked")
+        if self.hb_hook is not None:
+            self.hb_hook("acked", message)
         if self.metrics is not None and message.attempts > 1:
             self.metrics.histogram("noc.attempts_to_deliver").observe(
                 message.attempts)
@@ -303,4 +323,4 @@ class NoCModel:
         return self.total_latency / delivered
 
 
-__all__ = ["FaultHook", "Message", "NoCModel"]
+__all__ = ["FaultHook", "HBHook", "Message", "NoCModel"]

@@ -10,6 +10,11 @@ One sink, three record shapes (spans, instants, counters), every layer:
   kernel via its observer interface (queue depth, events/sec, dwell
   times) with zero cost when nothing is attached.
 
+The checking layer built on top of this observation -- the
+happens-before data-race sanitizer -- lives in :mod:`repro.sanitize`
+and emits its findings here as ``race.*`` counters and
+``race.data_race`` instants.
+
 See DESIGN.md ("Observability layer") for the wiring of each layer.
 """
 

@@ -1,0 +1,33 @@
+"""Non-intrusive correctness tooling over the simulated platform.
+
+The paper's central virtual-platform argument (section VII, experiment
+E11) is that simulation makes concurrency bugs *observable without
+perturbing them*.  This package adds the missing correctness layer on
+top of that observability: a happens-before data-race sanitizer that
+rides the existing observer infrastructure as a pure observer of the
+event-exact ISS path.
+
+- :class:`RaceSanitizer` / :func:`attach_sanitizer` -- shadow-memory
+  race detection over a :class:`~repro.vp.soc.SoC` (vector clocks over
+  semaphore, mailbox, DMA and interrupt edges);
+- :class:`NoCOrderTracker` -- happens-before clocks over the manycore
+  NoC's message and reliable-mode ack edges;
+- :class:`VectorClock` -- the shared clock primitive.
+
+Zero cost when detached: no hook in the ISS, bus, peripherals or NoC
+does any work unless a sanitizer is installed.
+"""
+
+from repro.sanitize.detector import (Race, RaceSanitizer, Site,
+                                     attach_sanitizer)
+from repro.sanitize.noc import NoCOrderTracker
+from repro.sanitize.vclock import VectorClock
+
+__all__ = [
+    "NoCOrderTracker",
+    "Race",
+    "RaceSanitizer",
+    "Site",
+    "VectorClock",
+    "attach_sanitizer",
+]

@@ -1,0 +1,346 @@
+"""Happens-before data-race detection over a simulated SoC.
+
+The :class:`RaceSanitizer` is a pure observer in the virtual-platform
+sense: it subscribes to the bus, to the cores' interrupt entry/exit and
+to DMA completion, derives a happens-before order from the hardware
+synchronization edges the platform already models, and never consumes
+simulated time or touches architectural state.  Attaching one forces
+every core onto the event-exact per-instruction ISS path (the same
+:meth:`~repro.vp.soc.SoC.acquire_sync` contract the debugger uses), so
+the observed access stream is the exact ``quantum=1`` reference ordering
+-- and the monitored program still behaves bit-identically to an
+unmonitored run.
+
+Happens-before edges (see DESIGN.md, "Happens-before model"):
+
+==========================  ============================================
+hardware event              edge
+==========================  ============================================
+semaphore release           releaser  ->  next successful acquirer
+(``sw 0`` while held)
+semaphore acquire           join of the semaphore's clock
+(``lw`` returning 0)
+mailbox ``TX_DATA`` push    sender  ->  the receiver that pops that word
+mailbox ``RX_DATA`` pop     join of the matching sender snapshot
+DMA ``CTRL`` start          starting core  ->  DMA engine
+DMA completion              DMA engine  ->  ``STATUS``-done pollers and
+                            ISRs entered on the DMA interrupt line
+interrupt delivery          publishing device  ->  the entered ISR
+``iret``                    segment boundary on the returning core
+==========================  ============================================
+
+Accesses to shared RAM words by different threads (cores and the DMA
+engine), at least one a write, that are *not* ordered by these edges are
+reported as races -- with both access sites (thread, pc, cycle), as
+``race.*`` obs instants and metrics, and through a byte-deterministic
+:meth:`RaceSanitizer.report`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from repro.sanitize.vclock import VectorClock
+from repro.vp.peripherals.dma import CTRL as DMA_CTRL, STATUS as DMA_STATUS
+from repro.vp.peripherals.mailbox import RX_DATA, TX_DATA, TX_DST
+from repro.vp.soc import (DMA_BASE, MBOX_BASE, MBOX_STRIDE, SEM_BASE, SoC)
+
+DMA_THREAD = "dma"
+
+
+@dataclass(frozen=True)
+class Site:
+    """One access site: who, where in the program, when."""
+
+    thread: str
+    pc: int
+    cycle: float
+
+    def __str__(self) -> str:
+        return f"{self.thread}@pc={self.pc} cyc={self.cycle:g}"
+
+
+@dataclass(frozen=True)
+class Race:
+    """One reported data race (first occurrence of its dedup key)."""
+
+    address: int
+    kind: str  # 'write-write' | 'write-read' | 'read-write'
+    prior: Site
+    current: Site
+
+    @property
+    def key(self) -> Tuple:
+        """Dedup key: site pcs/threads, not cycles (every loop iteration
+        of the same buggy pair is one race, not thousands)."""
+        return (self.address, self.kind, self.prior.thread, self.prior.pc,
+                self.current.thread, self.current.pc)
+
+    def __str__(self) -> str:
+        return (f"ram[{self.address:#06x}] {self.kind}: "
+                f"{self.prior} vs {self.current}")
+
+
+class _WordState:
+    """Shadow state of one RAM word: last-writer epoch + last readers."""
+
+    __slots__ = ("write", "reads")
+
+    def __init__(self) -> None:
+        # (thread, clock, pc, cycle) of the last write.
+        self.write: Optional[Tuple[str, int, int, float]] = None
+        # thread -> (clock, pc, cycle) of its last read since that write.
+        self.reads: Dict[str, Tuple[int, int, float]] = {}
+
+
+class RaceSanitizer:
+    """Happens-before race detector attached to one :class:`SoC`.
+
+    ``sink``/``metrics`` are optional observability outputs (``race.*``
+    instants and counters).  Construction attaches immediately; call
+    :meth:`detach` to release the platform (cores resume temporal
+    decoupling).  Attach before the first :meth:`SoC.run` so the shadow
+    peripheral state starts consistent with the hardware.
+    """
+
+    def __init__(self, soc: SoC, sink: Optional[Any] = None,
+                 metrics: Optional[Any] = None,
+                 track: str = "sanitizer") -> None:
+        self.soc = soc
+        self.sink = sink
+        self.metrics = metrics
+        self.track = track
+        self.races: List[Race] = []
+        self.race_counts: Dict[Tuple, int] = {}
+        self.checked_accesses = 0
+
+        config = soc.config
+        self._ram_words = config.ram_words
+        self._sem_lo = SEM_BASE
+        self._sem_hi = SEM_BASE + config.n_semaphores
+        self._dma_lo = DMA_BASE
+        self._mbox_lo = MBOX_BASE
+        self._mbox_hi = MBOX_BASE + config.n_cores * MBOX_STRIDE
+
+        # Per-thread vector clocks; a thread's own component starts at 1
+        # so the epoch (t, 0) never exists and nothing is spuriously
+        # ordered before a thread that was never synchronized with.
+        self._vc: Dict[str, VectorClock] = {}
+        # Shadow RAM word states, created on first observed access.
+        self._shadow: Dict[int, _WordState] = {}
+        # Sync-object clocks.
+        self._sem_clock = [VectorClock() for _ in range(config.n_semaphores)]
+        self._sem_shadow = [0] * config.n_semaphores
+        self._mbox_dst = [0] * config.n_cores
+        self._mbox_fifo: List[Deque[VectorClock]] = [
+            deque() for _ in range(config.n_cores)]
+        self._mbox_capacity = soc.mailboxes.capacity
+        self._doorbell_clock = [VectorClock() for _ in range(config.n_cores)]
+        self._dma_done = VectorClock()
+
+        # Attach: pure observation + the debugger's sync contract.
+        soc.acquire_sync()
+        soc.bus.observe(self._on_bus_access)
+        for cpu in soc.cores:
+            cpu.add_irq_hook(self._on_irq)
+        soc.dma.completion_hooks.append(self._on_dma_complete)
+        self._attached = True
+
+    # ------------------------------------------------------------------
+    def detach(self) -> None:
+        """Release the platform: stop observing, drop the sync hold."""
+        if not self._attached:
+            return
+        self._attached = False
+        self.soc.bus.unobserve(self._on_bus_access)
+        for cpu in self.soc.cores:
+            cpu.remove_irq_hook(self._on_irq)
+        self.soc.dma.completion_hooks.remove(self._on_dma_complete)
+        self.soc.release_sync()
+
+    # ------------------------------------------------------------------
+    # thread bookkeeping
+    # ------------------------------------------------------------------
+    def _vc_of(self, thread: str) -> VectorClock:
+        vc = self._vc.get(thread)
+        if vc is None:
+            vc = VectorClock({thread: 1})
+            self._vc[thread] = vc
+        return vc
+
+    def _pc_of(self, master: str) -> int:
+        if master.startswith("core"):
+            try:
+                return self.soc.cores[int(master[4:])].pc
+            except (ValueError, IndexError):
+                return -1
+        return -1
+
+    # ------------------------------------------------------------------
+    # the bus observer
+    # ------------------------------------------------------------------
+    def _on_bus_access(self, kind: str, address: int, value: int,
+                       master: str) -> None:
+        if address < self._ram_words:
+            self._on_ram(kind, address, master)
+        elif self._sem_lo <= address < self._sem_hi:
+            self._on_semaphore(kind, address - self._sem_lo, value, master)
+        elif self._mbox_lo <= address < self._mbox_hi:
+            port, reg = divmod(address - self._mbox_lo, MBOX_STRIDE)
+            self._on_mailbox(kind, port, reg, value, master)
+        elif address == self._dma_lo + DMA_CTRL:
+            if kind == "write" and value & 1:
+                # core -> DMA engine: the transfer sees the starter's writes.
+                self._vc_of(DMA_THREAD).join(self._vc_of(master))
+                self._vc_of(master).tick(master)
+        elif address == self._dma_lo + DMA_STATUS:
+            if kind == "read" and value & 2:
+                # done-bit poll: DMA completion -> polling thread.
+                self._vc_of(master).join(self._dma_done)
+
+    # ------------------------------------------------------------------
+    # shared-RAM shadow + race check
+    # ------------------------------------------------------------------
+    def _on_ram(self, kind: str, address: int, master: str) -> None:
+        self.checked_accesses += 1
+        vc = self._vc_of(master)
+        pc = self._pc_of(master)
+        cycle = self.soc.sim.now
+        state = self._shadow.get(address)
+        if state is None:
+            state = self._shadow[address] = _WordState()
+        write = state.write
+        if kind == "read":
+            if write is not None and write[0] != master and \
+                    not vc.ordered_before(write[0], write[1]):
+                self._report(address, "write-read",
+                             Site(write[0], write[2], write[3]),
+                             Site(master, pc, cycle))
+            state.reads[master] = (vc.get(master), pc, cycle)
+            return
+        # write (a swap arrives as a read then a write)
+        if write is not None and write[0] != master and \
+                not vc.ordered_before(write[0], write[1]):
+            self._report(address, "write-write",
+                         Site(write[0], write[2], write[3]),
+                         Site(master, pc, cycle))
+        for reader, (clock, rpc, rcycle) in state.reads.items():
+            if reader != master and not vc.ordered_before(reader, clock):
+                self._report(address, "read-write",
+                             Site(reader, rpc, rcycle),
+                             Site(master, pc, cycle))
+        state.write = (master, vc.get(master), pc, cycle)
+        state.reads.clear()
+
+    # ------------------------------------------------------------------
+    # synchronization edges
+    # ------------------------------------------------------------------
+    def _on_semaphore(self, kind: str, index: int, value: int,
+                      master: str) -> None:
+        if kind == "read":
+            # Read-to-acquire: a returned 0 is a successful acquire.
+            if value == 0:
+                self._vc_of(master).join(self._sem_clock[index])
+            self._sem_shadow[index] = 1
+        elif value == 0:
+            # A store of 0 releases -- but only if the semaphore was held
+            # (mirrors the SemaphoreBank release-counter guard).
+            if self._sem_shadow[index] != 0:
+                vc = self._vc_of(master)
+                self._sem_clock[index].join(vc)
+                vc.tick(master)
+            self._sem_shadow[index] = 0
+        else:
+            self._sem_shadow[index] = int(value)
+
+    def _on_mailbox(self, kind: str, port: int, reg: int, value: int,
+                    master: str) -> None:
+        if kind == "write":
+            if reg == TX_DST:
+                if 0 <= value < len(self._mbox_fifo):
+                    self._mbox_dst[port] = int(value)
+            elif reg == TX_DATA:
+                dest = self._mbox_dst[port]
+                if len(self._mbox_fifo[dest]) < self._mbox_capacity:
+                    vc = self._vc_of(master)
+                    snapshot = vc.snapshot()
+                    self._mbox_fifo[dest].append(snapshot)
+                    self._doorbell_clock[dest].join(snapshot)
+                    vc.tick(master)
+                # A dropped word synchronizes nothing.
+        elif reg == RX_DATA:
+            fifo = self._mbox_fifo[port]
+            if fifo:
+                self._vc_of(master).join(fifo.popleft())
+
+    def _on_dma_complete(self, dma: Any) -> None:
+        vc = self._vc_of(DMA_THREAD)
+        self._dma_done.join(vc)
+        vc.tick(DMA_THREAD)
+
+    def _on_irq(self, cpu: Any, phase: str) -> None:
+        thread = f"core{cpu.core_id}"
+        vc = self._vc_of(thread)
+        if phase == "enter":
+            # Interrupt delivery: join the clocks of every device line
+            # that is pending and unmasked on this core's controller.
+            intc = self.soc.intcs[cpu.core_id]
+            active = intc.pending & intc.mask
+            if not active:
+                return
+            for line, signal in intc.sources.items():
+                if active & (1 << line):
+                    clock = self._clock_of_signal(signal)
+                    if clock is not None:
+                        vc.join(clock)
+        else:  # iret: close the ISR segment
+            vc.tick(thread)
+
+    def _clock_of_signal(self, signal: Any) -> Optional[VectorClock]:
+        if signal is self.soc.dma.irq:
+            return self._dma_done
+        for core_id, doorbell in enumerate(self.soc.mailboxes.doorbells):
+            if signal is doorbell:
+                return self._doorbell_clock[core_id]
+        return None  # timers et al.: no cross-thread data to order
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def _report(self, address: int, kind: str, prior: Site,
+                current: Site) -> None:
+        race = Race(address, kind, prior, current)
+        key = race.key
+        count = self.race_counts.get(key)
+        if count is not None:
+            self.race_counts[key] = count + 1
+            return
+        self.race_counts[key] = 1
+        self.races.append(race)
+        if self.metrics is not None:
+            self.metrics.counter("race.reports").inc()
+            self.metrics.counter(f"race.{kind.replace('-', '_')}").inc()
+        if self.sink is not None:
+            self.sink.instant("race.data_race", track=self.track,
+                              ts=self.soc.sim.now, address=address,
+                              kind=kind, prior=str(prior),
+                              current=str(current))
+
+    def report(self) -> str:
+        """Deterministic text report: same run => byte-identical text."""
+        lines = [f"data races: {len(self.races)} "
+                 f"(checked {self.checked_accesses} shared-RAM accesses)"]
+        for race in self.races:
+            lines.append(f"  {race} (x{self.race_counts[race.key]})")
+        return "\n".join(lines) + "\n"
+
+
+def attach_sanitizer(soc: SoC, sink: Optional[Any] = None,
+                     metrics: Optional[Any] = None) -> RaceSanitizer:
+    """Attach a :class:`RaceSanitizer` to ``soc`` and return it."""
+    return RaceSanitizer(soc, sink=sink, metrics=metrics)
+
+
+__all__ = ["Race", "RaceSanitizer", "Site", "attach_sanitizer"]

@@ -1,0 +1,68 @@
+"""Vector clocks for the happens-before model.
+
+A :class:`VectorClock` maps thread names ("core0", "dma", ...) to scalar
+logical clocks.  The platform's hardware synchronization edges (semaphore
+release/acquire, mailbox send/receive, DMA start/completion, interrupt
+delivery) move snapshots of these clocks between threads; an access *a*
+by thread ``t`` happened-before the current point of thread ``u`` iff
+``a``'s epoch ``(t, c)`` satisfies ``c <= VC_u[t]``.
+
+Clocks are sparse: an absent component is 0.  Snapshots are plain dicts,
+cheap to copy and to join.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+
+class VectorClock:
+    """A sparse vector clock over named threads."""
+
+    __slots__ = ("clocks",)
+
+    def __init__(self, clocks: Dict[str, int] | None = None) -> None:
+        self.clocks: Dict[str, int] = dict(clocks) if clocks else {}
+
+    # ------------------------------------------------------------------
+    def get(self, thread: str) -> int:
+        return self.clocks.get(thread, 0)
+
+    def tick(self, thread: str) -> int:
+        """Advance ``thread``'s own component; returns the new value."""
+        value = self.clocks.get(thread, 0) + 1
+        self.clocks[thread] = value
+        return value
+
+    def join(self, other: "VectorClock") -> None:
+        """Component-wise maximum, in place (the acquire side of an edge)."""
+        mine = self.clocks
+        for thread, value in other.clocks.items():
+            if value > mine.get(thread, 0):
+                mine[thread] = value
+
+    def snapshot(self) -> "VectorClock":
+        """An independent copy (the release side of an edge)."""
+        return VectorClock(self.clocks)
+
+    def ordered_before(self, thread: str, clock: int) -> bool:
+        """Is the epoch ``(thread, clock)`` happened-before this clock?"""
+        return clock <= self.clocks.get(thread, 0)
+
+    # ------------------------------------------------------------------
+    def items(self) -> Iterator[Tuple[str, int]]:
+        return iter(sorted(self.clocks.items()))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, VectorClock):
+            return NotImplemented
+        mine = {t: c for t, c in self.clocks.items() if c}
+        theirs = {t: c for t, c in other.clocks.items() if c}
+        return mine == theirs
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{t}:{c}" for t, c in self.items())
+        return f"VC({inner})"
+
+
+__all__ = ["VectorClock"]

@@ -66,6 +66,9 @@ class Bus:
         self.name = name
         self.mappings: List[_Mapping] = []
         self.observers: List[AccessObserver] = []
+        # Immutable snapshot iterated on every access; rebuilt only when
+        # the observer set changes, so the hot path never copies a list.
+        self._observer_snapshot: Tuple[AccessObserver, ...] = ()
         self.reads = 0
         self.writes = 0
         # Decode fast path: the vast majority of traffic hits one region
@@ -88,10 +91,12 @@ class Bus:
 
     def observe(self, observer: AccessObserver) -> None:
         self.observers.append(observer)
+        self._observer_snapshot = tuple(self.observers)
 
     def unobserve(self, observer: AccessObserver) -> None:
         if observer in self.observers:
             self.observers.remove(observer)
+        self._observer_snapshot = tuple(self.observers)
 
     def _decode(self, address: int) -> Tuple[_Mapping, int]:
         mapping = self._last_hit
@@ -110,8 +115,8 @@ class Bus:
         mapping, offset = self._decode(address)
         value = mapping.device.read(offset)
         self.reads += 1
-        if self.observers:
-            for observer in list(self.observers):
+        if self._observer_snapshot:
+            for observer in self._observer_snapshot:
                 observer("read", address, value, master)
         return value
 
@@ -119,8 +124,8 @@ class Bus:
         mapping, offset = self._decode(address)
         mapping.device.write(offset, value)
         self.writes += 1
-        if self.observers:
-            for observer in list(self.observers):
+        if self._observer_snapshot:
+            for observer in self._observer_snapshot:
                 observer("write", address, value, master)
 
     def peek(self, address: int) -> int:

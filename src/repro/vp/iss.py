@@ -73,6 +73,25 @@ def _unsigned_lt(a: int, b: int) -> int:
     return 1 if (a & _MASK32) < (b & _MASK32) else 0
 
 
+def _to_signed32(value: int) -> int:
+    """Reduce to the signed 32-bit two's-complement image."""
+    value &= _MASK32
+    return value - 0x1_0000_0000 if value & 0x8000_0000 else value
+
+
+def _shl32(a: int, b: int) -> int:
+    """``shl``: 32-bit logical left shift.  The result wraps to a signed
+    32-bit word and the shift amount uses the low 5 bits, as on real
+    32-bit RISC hardware (and as compiled C firmware observes)."""
+    return _to_signed32((a & _MASK32) << (b & 31))
+
+
+def _shr32(a: int, b: int) -> int:
+    """``shr``: 32-bit arithmetic right shift (sign-extending), shift
+    amount masked to the low 5 bits."""
+    return _to_signed32(a) >> (b & 31)
+
+
 @dataclass
 class CoreState:
     """Architectural state snapshot (what the debugger shows)."""
@@ -104,8 +123,8 @@ _BINOPS = {
     "and": lambda a, b: a & b,
     "or": lambda a, b: a | b,
     "xor": lambda a, b: a ^ b,
-    "shl": lambda a, b: a << b,
-    "shr": lambda a, b: a >> b,
+    "shl": _shl32,
+    "shr": _shr32,
     "slt": lambda a, b: 1 if a < b else 0,
     "sltu": _unsigned_lt,
     "seq": lambda a, b: 1 if a == b else 0,
@@ -276,6 +295,15 @@ class Cpu:
         if quantum < 1:
             raise ValueError(f"quantum must be >= 1, got {quantum}")
         self.quantum = quantum
+        # Fixed bus-arbitration rank.  Kernel wakeups tie-break on
+        # (priority, seq); seq depends on *when* an event was scheduled,
+        # which temporal decoupling changes (a batch schedules its wakeup
+        # at batch start, the reference path one instruction earlier), so
+        # relying on seq makes tied-cycle access order quantum-dependent.
+        # A distinct per-core priority pins the order architecturally:
+        # device masters (priority 0) win tied cycles, then cores in
+        # core-id order -- identical on every path.
+        self.priority = core_id + 1
         # Signals observable by the debugger (non-intrusively).
         self.irq = Signal(f"{self.name}.irq", 0)
         self.halted_signal = Signal(f"{self.name}.halted", 0)
@@ -286,6 +314,11 @@ class Cpu:
         # Hooks called after each instruction (tracers, probes, ...).
         # Append-only list: several observers can coexist on one core.
         self._post_instr_hooks: List[Callable[["Cpu", Instr], None]] = []
+        # Hooks called on interrupt entry ("enter") and on iret ("iret").
+        # Both happen only on the reference path (vectoring requires an
+        # open irq window and iret is never batchable), so the checks
+        # cost nothing on the decoupled fast path.
+        self._irq_hooks: List[Callable[["Cpu", str], None]] = []
         # Outstanding synchronization requests: while > 0 the core runs
         # per-instruction regardless of `quantum` (debugger contract).
         self._sync_requests = 0
@@ -303,6 +336,17 @@ class Cpu:
     def remove_post_instr_hook(
             self, hook: Callable[["Cpu", Instr], None]) -> None:
         self._post_instr_hooks.remove(hook)
+
+    def add_irq_hook(
+            self, hook: Callable[["Cpu", str], None]
+    ) -> Callable[["Cpu", str], None]:
+        """Register a hook called with ``(cpu, "enter")`` when the core
+        vectors into its ISR and ``(cpu, "iret")`` when it returns."""
+        self._irq_hooks.append(hook)
+        return hook
+
+    def remove_irq_hook(self, hook: Callable[["Cpu", str], None]) -> None:
+        self._irq_hooks.remove(hook)
 
     @property
     def post_instr_hook(self) -> Optional[Callable[["Cpu", Instr], None]]:
@@ -334,7 +378,8 @@ class Cpu:
     # ------------------------------------------------------------------
     def start(self) -> None:
         """Spawn the core's execution process on the kernel."""
-        self.process = self.sim.spawn(self._run(), name=self.name)
+        self.process = self.sim.spawn(self._run(), name=self.name,
+                                      priority=self.priority)
 
     def state(self) -> CoreState:
         return CoreState(self.core_id, self.pc, list(self.regs), self.halted,
@@ -360,6 +405,9 @@ class Cpu:
                 self.pc = self.irq_vector
                 self.in_isr = True
                 irq_window = False  # now inside the ISR
+                if self._irq_hooks:
+                    for hook in list(self._irq_hooks):
+                        hook(self, "enter")
             program = self.program
             n = len(program.instructions)
             if not 0 <= self.pc < n:
@@ -415,10 +463,12 @@ class Cpu:
                     # instruction's delay is issued separately so that
                     # every fast-path yield is scheduled at a simulation
                     # time where the reference path also scheduled one.
-                    # Simultaneous wakeups tie-break on kernel sequence
-                    # numbers (= scheduling order), so this alignment is
-                    # what keeps tied-time bus accesses of *other* cores
-                    # in the exact reference order.
+                    # Time alignment alone is not enough for tied-time
+                    # ordering -- the batch's first wakeup carries a seq
+                    # from batch *start*, older than the reference path's
+                    # -- which is why core processes run at a fixed
+                    # per-core kernel priority (see __init__): tied
+                    # wakeups order by (time, priority), not history.
                     if total > cost:
                         yield Delay(total - cost)
                     yield Delay(cost)
@@ -471,9 +521,9 @@ class Cpu:
             elif op == "xor":
                 value = a ^ b
             elif op == "shl":
-                value = a << b
+                value = _shl32(a, b)
             elif op == "shr":
-                value = a >> b
+                value = _shr32(a, b)
             elif op == "slt":
                 value = 1 if a < b else 0
             elif op == "sltu":
@@ -534,6 +584,9 @@ class Cpu:
             self.regs = list(self.saved_regs)
             next_pc = self.epc
             self.in_isr = False
+            if self._irq_hooks:
+                for hook in list(self._irq_hooks):
+                    hook(self, "iret")
         else:
             raise RuntimeError(f"{self.name}: unknown op {op!r}")
         self.pc = next_pc

@@ -19,6 +19,7 @@ memory another core is using (the E12 illegal-access workload).
 
 from __future__ import annotations
 
+from typing import Callable, List
 
 from repro.desim import Delay, Signal, Simulator
 from repro.vp.bus import Bus
@@ -45,6 +46,10 @@ class DmaDevice:
         self.irq = Signal(f"{name}.irq", 0)
         self.transfers_completed = 0
         self.words_moved = 0
+        # Called with this device on every transfer completion.  Unlike
+        # irq.posedge these fire even when the line is still high from a
+        # prior un-acknowledged transfer.
+        self.completion_hooks: List[Callable[["DmaDevice"], None]] = []
 
     # -- device interface ----------------------------------------------------
     def read(self, offset: int) -> int:
@@ -98,6 +103,9 @@ class DmaDevice:
         self.busy = False
         self.done = True
         self.transfers_completed += 1
+        if self.completion_hooks:
+            for hook in list(self.completion_hooks):
+                hook(self)
         self.irq.write(1)
 
 

@@ -53,6 +53,11 @@ class InterruptController:
             self.pending |= (1 << line)
             self._update()
 
+    @property
+    def sources(self) -> Dict[int, Signal]:
+        """Line -> source signal map (read-only view)."""
+        return dict(self._sources)
+
     # -- device interface --------------------------------------------------
     def read(self, offset: int) -> int:
         if offset == PENDING:

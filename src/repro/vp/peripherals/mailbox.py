@@ -71,7 +71,7 @@ class MailboxBank:
     def core_peek(self, core: int, offset: int) -> int:
         if offset == RX_DATA:
             return self.queues[core][0][1] if self.queues[core] else 0
-        return self.core_read(core, offset) if offset != RX_DATA else 0
+        return self.core_read(core, offset)
 
     def core_write(self, core: int, offset: int, value: int) -> None:
         if offset == TX_DST:

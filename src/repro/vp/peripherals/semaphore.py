@@ -44,7 +44,10 @@ class SemaphoreBank:
         return self.values[offset]
 
     def write(self, offset: int, value: int) -> None:
-        if value == 0:
+        # A store of 0 is only a *release* if the semaphore was actually
+        # held; firmware clearing an already-free semaphore must not
+        # inflate the contention counters.
+        if value == 0 and self.values[offset] != 0:
             self.releases[offset] += 1
         self.values[offset] = int(value)
 

@@ -172,6 +172,17 @@ class SoC:
                         trace_memory=trace_memory, sink=sink)
         return tracer, probe
 
+    def attach_sanitizer(self, sink=None, metrics=None):
+        """Attach a happens-before data-race sanitizer to this platform.
+
+        Returns the :class:`~repro.sanitize.RaceSanitizer`.  Attaching
+        forces every core onto the event-exact per-instruction path
+        (``acquire_sync``), exactly like a debugger; ``detach()`` on the
+        returned sanitizer restores the fast path.
+        """
+        from repro.sanitize.detector import attach_sanitizer
+        return attach_sanitizer(self, sink=sink, metrics=metrics)
+
     def attach_faults(self, injector) -> None:
         """Register this platform's hardware-fault handlers (RAM and
         register bit flips, stuck interrupt lines) on a

@@ -1,0 +1,100 @@
+"""Differential tests: the mini-C interpreter vs the ISS on the operators
+where host-Python semantics diverge from 32-bit C -- shifts on negative
+and overflowing operands, truncating division, modulo sign.
+
+Both execution paths model the same 32-bit target, so for every (op, a, b)
+the interpreted C expression and the assembled firmware must agree bit
+for bit.  Any divergence here is exactly the class of bug that makes a
+program "work in simulation, fail on hardware" (or vice versa).
+"""
+
+import pytest
+
+from repro.cir import InterpError, parse, run_program
+from repro.vp import SoC, SoCConfig
+
+RESULT_ADDR = 200
+
+
+def interp_binop(op: str, a: int, b: int) -> int:
+    source = f"int main(int a, int b) {{ return a {op} b; }}"
+    return run_program(parse(source), args=[a, b]).return_value
+
+
+def iss_binop(op_mnemonic: str, a: int, b: int) -> int:
+    """Run one reg-reg ALU op on the ISS; operands are materialized with
+    li (the assembler accepts negative immediates)."""
+    asm = f"""
+        li r1, {a}
+        li r2, {b}
+        {op_mnemonic} r3, r1, r2
+        li r4, {RESULT_ADDR}
+        sw r3, 0(r4)
+        halt
+    """
+    soc = SoC(SoCConfig(n_cores=1), {0: asm})
+    soc.run()
+    return soc.mem(RESULT_ADDR)
+
+
+SHIFT_CASES = [
+    (1, 3),                    # plain
+    (0x40000000, 2),           # overflow out of the sign bit
+    (0x7FFFFFFF, 1),           # positive -> negative wrap
+    (-1, 4),                   # negative left operand
+    (-8, 1),                   # arithmetic right shift
+    (-1, 31),
+    (1, 35),                   # count > 31: masked to 3
+    (123456, 0),
+]
+
+
+class TestShiftSemantics:
+    @pytest.mark.parametrize("a,b", SHIFT_CASES)
+    def test_shl_matches(self, a, b):
+        assert interp_binop("<<", a, b) == iss_binop("shl", a, b)
+
+    @pytest.mark.parametrize("a,b", SHIFT_CASES)
+    def test_shr_matches(self, a, b):
+        assert interp_binop(">>", a, b) == iss_binop("shr", a, b)
+
+    def test_shl_wraps_to_signed_32_bits(self):
+        # 0x40000000 << 1 overflows into the sign bit on a 32-bit target.
+        assert interp_binop("<<", 0x40000000, 1) == -(2 ** 31)
+        assert iss_binop("shl", 0x40000000, 1) == -(2 ** 31)
+
+    def test_shr_is_arithmetic(self):
+        assert interp_binop(">>", -8, 1) == -4
+        assert iss_binop("shr", -8, 1) == -4
+
+    def test_shift_count_uses_low_five_bits(self):
+        assert interp_binop("<<", 1, 32) == 1
+        assert iss_binop("shl", 1, 32) == 1
+        assert interp_binop("<<", 1, 33) == 2
+        assert iss_binop("shl", 1, 33) == 2
+
+
+DIV_CASES = [(7, 2), (-7, 2), (7, -2), (-7, -2), (1, 3), (-1, 3)]
+
+
+class TestDivModSemantics:
+    @pytest.mark.parametrize("a,b", DIV_CASES)
+    def test_division_truncates_toward_zero_like_the_iss(self, a, b):
+        assert interp_binop("/", a, b) == iss_binop("div", a, b)
+
+    def test_modulo_sign_follows_dividend(self):
+        assert interp_binop("%", -7, 3) == -1
+        assert interp_binop("%", 7, -3) == 1
+
+    def test_modulo_rejects_float_operands(self):
+        # C rejects % on floats at compile time; silently computing a
+        # Python float remainder would diverge from any compiled target.
+        with pytest.raises(InterpError, match="float"):
+            run_program(parse(
+                "int main() { float x; x = 7.5; return x % 2; }"))
+        with pytest.raises(InterpError, match="float"):
+            run_program(parse(
+                "int main() { float y; y = 2.5; return 7 % y; }"))
+
+    def test_int_modulo_still_works(self):
+        assert interp_binop("%", 17, 5) == 2

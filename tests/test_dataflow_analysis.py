@@ -49,6 +49,32 @@ class TestThroughput:
         assert mcr == pytest.approx(3.0, rel=1e-3)
         assert throughput_self_timed(graph) == pytest.approx(1 / 3, rel=1e-3)
 
+    def test_mcr_matches_self_timed_on_multirate_graph(self):
+        """Verification against the analytic bound on a genuinely
+        multirate graph: the measured rate must converge on 1/MCR as the
+        window grows (the transient decays as 1/iterations)."""
+        graph = SDFGraph("multirate")
+        graph.add_actor("a", 1.0)
+        graph.add_actor("b", 3.0)
+        graph.add_actor("c", 2.0)
+        graph.connect("a", "b", 2, 3)       # reps: a 3, b 2, c 6
+        graph.connect("b", "c", 3, 1)
+        graph.connect("c", "a", 1, 2, tokens=6)
+        mcr, _ = max_cycle_ratio(graph)
+        coarse = throughput_self_timed(graph, iterations=50)
+        fine = throughput_self_timed(graph, iterations=500)
+        assert fine == pytest.approx(1.0 / mcr, rel=1e-3)
+        # Longer window => closer to the bound, never above it.
+        assert abs(fine - 1.0 / mcr) <= abs(coarse - 1.0 / mcr) + 1e-12
+        assert fine <= 1.0 / mcr * (1 + 1e-6)
+
+    def test_self_timed_rejects_degenerate_window(self):
+        # With a single measured iteration the window is one point: there
+        # is no rate to measure (it used to return inf).
+        graph = make_pipeline()
+        with pytest.raises(ValueError, match="iterations >= 2"):
+            throughput_self_timed(graph, iterations=1)
+
     def test_hsdf_expansion_counts(self):
         graph = make_pipeline()
         hsdf = hsdf_expansion(graph)

@@ -205,6 +205,24 @@ class TestSemaphoreBank:
         assert bank.acquire_successes[0] == 1
         assert bank.releases[0] == 1
 
+    def test_store_zero_when_free_is_not_a_release(self):
+        bank = SemaphoreBank(2)
+        bank.write(0, 0)           # never held: not a release
+        assert bank.releases[0] == 0
+        bank.read(0)               # acquire
+        bank.write(0, 0)           # genuine release
+        bank.write(0, 0)           # already free: still not a release
+        assert bank.releases[0] == 1
+
+    def test_contention_counters_stay_balanced(self):
+        bank = SemaphoreBank(1)
+        for _ in range(5):
+            assert bank.read(0) == 0
+            bank.write(0, 0)
+            bank.write(0, 0)       # sloppy double-release each round
+        assert bank.acquire_successes[0] == 5
+        assert bank.releases[0] == 5
+
 
 class TestUart:
     def test_output_accumulates(self):
