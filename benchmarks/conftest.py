@@ -15,8 +15,18 @@ import time
 
 import pytest
 
-_RESULTS_FILE = os.path.join(os.path.dirname(__file__), "..",
-                             "BENCH_RESULTS.json")
+_DEFAULT_RESULTS_FILE = os.path.join(os.path.dirname(__file__), "..",
+                                     "BENCH_RESULTS.json")
+
+
+def _results_file() -> str:
+    """Where this session's bench records land.  ``REPRO_BENCH_RESULTS``
+    redirects to a private file so parallel bench shards (reproduce_all
+    --jobs N) don't race read-modify-write on the shared history; the
+    parent merges the shard files afterwards."""
+    return os.environ.get("REPRO_BENCH_RESULTS") or _DEFAULT_RESULTS_FILE
+
+
 # Rotation cap applied per bench, so one frequently-run bench can never
 # evict the history of the others.
 _MAX_RUNS_PER_BENCH = 50
@@ -64,7 +74,7 @@ def _load_series() -> dict:
     """Load the per-bench history, converting the legacy whole-session
     ``{"runs": [...]}`` layout into per-bench series on the way in."""
     try:
-        with open(_RESULTS_FILE) as handle:
+        with open(_results_file()) as handle:
             data = json.load(handle)
     except (OSError, ValueError):
         return {}
@@ -106,7 +116,7 @@ def pytest_sessionfinish(session, exitstatus):
         history = series.setdefault(nodeid, [])
         history.append(record)
         del history[:-_MAX_RUNS_PER_BENCH]
-    with open(_RESULTS_FILE, "w") as handle:
+    with open(_results_file(), "w") as handle:
         json.dump({"benches": series}, handle, indent=2)
         handle.write("\n")
 

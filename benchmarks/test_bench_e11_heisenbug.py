@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.vp import Debugger, HardwareProbe, SoC, SoCConfig, Tracer
+from repro.vp import Debugger, HardwareProbe, SoC, SoCConfig
 
 RACY = """
     li r1, 100
@@ -107,7 +107,7 @@ def test_bench_e11_interleaving_evidence(benchmark, show):
     the evidence an engineer needs for phase 4 (root cause)."""
     def measure():
         soc = build()
-        tracer = Tracer(soc)
+        tracer = soc.instrument(obs={"sink": None}).tracer
         soc.run()
         accesses = tracer.accesses_to(100)
         # Count read-read adjacencies (two loads before either store):

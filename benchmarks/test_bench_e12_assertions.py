@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.vp import Debugger, SoC, SoCConfig, Tracer
+from repro.vp import Debugger, SoC, SoCConfig
 from repro.vp.script import DebugScriptEngine
 
 # core0: fill private buffer at 200..207 with sentinel 7s, then verify.
@@ -114,7 +114,7 @@ def run_experiment():
 
     # Detection 3: trace attribution -- who wrote the corrupted words?
     soc = build()
-    tracer = Tracer(soc)
+    tracer = soc.instrument(obs={"sink": None}).tracer
     soc.run()
     culprits = {event.detail["master"]
                 for event in tracer.accesses_to(200, kind="write")}

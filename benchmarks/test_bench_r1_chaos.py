@@ -22,7 +22,7 @@ import json
 
 import pytest
 
-from repro.faults import FaultInjector, FaultPlan
+from repro.faults import FaultInjector, FaultPlan, run_fault_campaign
 from repro.manycore.actors import ActorSystem
 from repro.manycore.machine import Machine
 from repro.obs.trace import TraceSink
@@ -36,7 +36,8 @@ def expected_value(frame: int) -> int:
     return ((frame * 7 + 1) * 2 + 1) // 3
 
 
-def run_pipeline(drop_p: float, reliable: bool, with_sink: bool = False):
+def run_pipeline(drop_p: float, reliable: bool, with_sink: bool = False,
+                 plan: FaultPlan = None):
     """One campaign run; returns (results, makespan, noc, injector, trace)."""
     machine = Machine(4)
     # Retransmission timer tuned just above the worst-case RTT with a
@@ -48,8 +49,9 @@ def run_pipeline(drop_p: float, reliable: bool, with_sink: bool = False):
     sim = system.sim
     sink = TraceSink() if with_sink else None
     injector = None
-    if drop_p > 0:
-        plan = FaultPlan(seed=SEED).drop_messages(drop_p)
+    if plan is None and drop_p > 0:
+        plan = FaultPlan(seed=SEED).noc_drop(drop_p)
+    if plan is not None and not plan.empty:
         injector = FaultInjector(sim, plan, sink=sink)
         injector.attach_noc(system.noc)
 
@@ -92,20 +94,40 @@ def run_pipeline(drop_p: float, reliable: bool, with_sink: bool = False):
     return results, makespan, system.noc, injector, trace
 
 
-def run_experiment():
-    rows = {}
-    for p in DROP_PS:
-        results, makespan, noc, injector, _ = run_pipeline(p, reliable=True)
-        retries = (injector.metrics.counter("noc.retries").value
-                   if injector else 0.0)
-        rows[p] = {
-            "delivered": len(results),
-            "correct": sum(1 for f, v in results.items()
-                           if v == expected_value(f)),
-            "makespan": makespan,
-            "retries": retries,
-            "undeliverable": noc.undeliverable,
-        }
+def chaos_scenario(config, seed):
+    """Farm job: one reliable-pipeline run under a serialized fault plan.
+
+    Pure function of (config, seed): the plan dict round-trips through
+    :meth:`FaultPlan.from_dict` exactly, and the simulation is seeded
+    entirely by the plan -- so the campaign aggregate is byte-identical
+    at any worker count.
+    """
+    plan = FaultPlan.from_dict(config["plan"])
+    drop_rule = plan.message_rules.get("drop")
+    results, makespan, noc, injector, _ = run_pipeline(
+        0.0, reliable=True, plan=plan)
+    retries = (injector.metrics.counter("noc.retries").value
+               if injector else 0.0)
+    return {
+        "drop_p": drop_rule.probability if drop_rule else 0.0,
+        "delivered": len(results),
+        "correct": sum(1 for f, v in results.items()
+                       if v == expected_value(f)),
+        "makespan": makespan,
+        "retries": retries,
+        "undeliverable": noc.undeliverable,
+    }
+
+
+def run_experiment(executor=None):
+    """The drop-rate sweep as a farm fault campaign (serial in-process
+    by default; any `repro.farm.Executor` shards it identically)."""
+    plans = [FaultPlan(seed=SEED).noc_drop(p) if p > 0
+             else FaultPlan(seed=SEED) for p in DROP_PS]
+    outcome = run_fault_campaign(chaos_scenario, plans,
+                                 executor=executor,
+                                 name="r1-chaos").raise_on_failure()
+    rows = {row["drop_p"]: row for row in outcome.results}
     lossy_results, _, _, _, _ = run_pipeline(0.2, reliable=False)
     return rows, len(lossy_results)
 

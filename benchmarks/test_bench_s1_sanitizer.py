@@ -19,7 +19,6 @@ from __future__ import annotations
 
 import time
 
-from repro.sanitize import attach_sanitizer
 from repro.vp import SoC, SoCConfig
 
 RACY = """
@@ -56,12 +55,12 @@ def run_experiment():
     # Detached: attach then detach before running -- every hook site is
     # exercised for emptiness, none should fire.
     detached_soc = build()
-    attach_sanitizer(detached_soc).detach()
+    detached_soc.instrument(sanitizer=True).detach()
     detached_s, detached_rate = timed_run(detached_soc)
 
     # Attached: full shadow-memory checking on the reference path.
     attached_soc = build()
-    sanitizer = attach_sanitizer(attached_soc)
+    sanitizer = attached_soc.instrument(sanitizer=True).detector
     attached_s, attached_rate = timed_run(attached_soc)
 
     # Reference-path-without-sanitizer: isolates checking cost from the

@@ -6,8 +6,19 @@ front end (an SDF model becomes CIC automatically) and the explicitly
 future-work "exploration of optimal target architecture" (one CIC spec,
 many candidate architecture files, Pareto front of cost vs speed).
 
-Run:  python examples/architecture_explorer.py
+Run:  python examples/architecture_explorer.py [--jobs N] [--cache DIR]
+
+``--jobs N`` shards the candidate evaluations across N farm worker
+processes (`repro.farm`); ``--cache DIR`` reuses completed points across
+runs.  The Pareto front is identical at any worker count.
 """
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "src"))
 
 from repro.dataflow import SDFGraph
 from repro.hopes import (
@@ -43,6 +54,17 @@ def app_factory():
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="evaluate candidates on N farm workers")
+    parser.add_argument("--cache", default=None, metavar="DIR",
+                        help="farm result-cache directory")
+    args = parser.parse_args()
+    executor = None
+    if args.jobs is not None or args.cache is not None:
+        from repro.farm import Executor
+        executor = Executor(jobs=args.jobs or 1, cache_dir=args.cache)
+
     print("Model in: 5-actor SDF audio path; CIC generated automatically")
     app = app_factory()
     print(f"   generated tasks:    {sorted(app.tasks)}")
@@ -51,7 +73,11 @@ def main() -> None:
     candidates = smp_candidates(4) + cell_candidates(4)
     print(f"Exploring {len(candidates)} candidate architectures "
           f"(1-4 SMP CPUs, host+1-4 accelerators)...\n")
-    result = explore_architectures(app_factory, candidates, iterations=24)
+    result = explore_architectures(app_factory, candidates, iterations=24,
+                                   executor=executor)
+    if executor is not None:
+        print(f"   (farm: {executor.jobs} worker(s), "
+              f"cache={executor.cache_dir or 'off'})\n")
 
     pareto = {p.label for p in result.pareto}
     print(f"{'architecture':<14}{'HW cost':>8}{'end time':>10}   Pareto")

@@ -11,7 +11,7 @@ the virtual platform's watchpoints, traces and scripted assertions.
 Run:  python examples/heisenbug_hunt.py
 """
 
-from repro.vp import Debugger, HardwareProbe, SoC, SoCConfig, Tracer
+from repro.vp import Debugger, HardwareProbe, SoC, SoCConfig
 from repro.vp.script import DebugScriptEngine
 
 RACY = """
@@ -89,7 +89,7 @@ def main() -> None:
 
     print("Phase 4: locate the root cause with the trace")
     soc = build(RACY)
-    tracer = Tracer(soc)
+    tracer = soc.instrument(obs={"sink": None}).tracer
     soc.run()
     accesses = tracer.accesses_to(100)[:6]
     for event in accesses:

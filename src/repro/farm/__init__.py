@@ -1,0 +1,32 @@
+"""repro.farm -- deterministic parallel campaign engine.
+
+Shards batches of named pure functions (``fn(config, seed) -> result``)
+across worker processes with content-addressed result caching, per-job
+timeout/retry/crash containment, and ordered byte-identical aggregation:
+a parallel campaign's aggregate equals the serial one bit-for-bit.
+
+    from repro.farm import Campaign, Executor
+
+    campaign = Campaign("sweep", executor=Executor(jobs=4,
+                                                   cache_dir=".farm"))
+    for seed in range(16):
+        campaign.add(evaluate_point, config={"p": 0.1}, seed=seed)
+    result = campaign.run().raise_on_failure()
+    print(result.aggregate_json())
+"""
+
+from repro.farm.cache import ResultCache
+from repro.farm.engine import Campaign, CampaignResult, Executor, run_campaign
+from repro.farm.job import (
+    FAILURE_CRASH, FAILURE_ERROR, FAILURE_TIMEOUT, Job, JobFailure,
+    JobOutcome, canonical_json, func_ref, job_key, json_roundtrip,
+    resolve_ref, source_salt,
+)
+
+__all__ = [
+    "Campaign", "CampaignResult", "Executor", "run_campaign",
+    "ResultCache", "Job", "JobFailure", "JobOutcome",
+    "FAILURE_CRASH", "FAILURE_ERROR", "FAILURE_TIMEOUT",
+    "canonical_json", "func_ref", "job_key", "json_roundtrip",
+    "resolve_ref", "source_salt",
+]

@@ -1,0 +1,102 @@
+"""Content-addressed on-disk result cache.
+
+One file per completed job, named by the job's content address
+(:func:`repro.farm.job.job_key`), stored as canonical JSON under a
+two-character fan-out directory::
+
+    <root>/ab/abcdef....json
+
+A hit returns the cached result without executing anything -- that is
+how re-runs and resumed sweeps skip completed points.  Because the key
+hashes (function ref, config, seed, code-version salt), a cache can be
+shared between serial and parallel campaigns, across processes and
+across machines, and can never serve a stale result for edited code.
+
+Writes are atomic (temp file + ``os.replace``) so concurrent workers
+racing on the same key simply last-write-wins identical bytes; corrupt
+or truncated entries read as misses, never as errors.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+from repro.farm.job import canonical_json
+
+_MISS = object()
+
+
+class ResultCache:
+    """Directory-backed map from job key to cached result payload."""
+
+    def __init__(self, root: str) -> None:
+        self.root = str(root)
+        os.makedirs(self.root, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    def _path(self, key: str) -> str:
+        if len(key) < 3 or not all(c in "0123456789abcdef" for c in key):
+            raise ValueError(f"malformed cache key {key!r}")
+        return os.path.join(self.root, key[:2], f"{key}.json")
+
+    def lookup(self, key: str) -> Tuple[bool, Any]:
+        """``(hit, result)``; unreadable entries are misses (malformed
+        keys still raise -- only on-disk damage is forgiven)."""
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            return False, None
+        if not isinstance(payload, dict) or "result" not in payload:
+            return False, None
+        return True, payload["result"]
+
+    def store(self, key: str, result: Any,
+              meta: Optional[Dict[str, Any]] = None) -> str:
+        """Atomically persist ``result`` (plus job metadata for humans
+        spelunking the cache directory); returns the entry path."""
+        path = self._path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        payload = {"key": key, "result": result}
+        if meta:
+            payload["job"] = meta
+        data = canonical_json(payload)
+        fd, tmp_path = tempfile.mkstemp(dir=os.path.dirname(path),
+                                        suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(data)
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+        return path
+
+    # ------------------------------------------------------------------
+    def keys(self) -> Iterator[str]:
+        for fanout in sorted(os.listdir(self.root)):
+            subdir = os.path.join(self.root, fanout)
+            if not os.path.isdir(subdir):
+                continue
+            for entry in sorted(os.listdir(subdir)):
+                if entry.endswith(".json"):
+                    yield entry[:-len(".json")]
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    def __contains__(self, key: str) -> bool:
+        return self.lookup(key)[0]
+
+    def __repr__(self) -> str:
+        return f"ResultCache({self.root!r}, {len(self)} entries)"
+
+
+__all__ = ["ResultCache"]

@@ -1,0 +1,457 @@
+"""The campaign engine: deterministic multi-process job execution.
+
+A :class:`Campaign` shards its jobs across a ``ProcessPoolExecutor``
+(``jobs=1`` is the in-process reference path -- no pool, no pickling,
+same cache, same aggregation) and guarantees:
+
+- **ordered aggregation** -- outcomes are merged in job-submission
+  order, so a parallel campaign's aggregate is byte-identical to the
+  serial one no matter which worker finished first;
+- **content-addressed caching** -- completed points are skipped on
+  re-runs and resumed sweeps (see :mod:`repro.farm.cache`);
+- **failure containment** -- a job that raises, exceeds its timeout or
+  takes its worker down yields a structured :class:`JobFailure` in its
+  submission slot (crashed workers are replaced by rebuilding the
+  pool); the rest of the sweep completes;
+- **observability** -- per-job ``farm.*`` counters and histograms plus
+  progress instants into any obs sink.  These are wall-clock
+  operational telemetry and deliberately *outside* the determinism
+  contract; the deterministic artifact is the ordered aggregate.
+
+Normalization rule: every result -- freshly computed, worker-returned
+or cache-rehydrated -- passes through one JSON round-trip before it
+enters an outcome, so all three are indistinguishable and
+``CampaignResult.aggregate_json()`` is byte-identical across
+``jobs=1``, ``jobs=N`` and warm-cache re-runs.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import traceback
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.farm.cache import ResultCache
+from repro.farm.job import (
+    FAILURE_CRASH, FAILURE_ERROR, FAILURE_TIMEOUT, Job, JobFailure,
+    JobOutcome, canonical_json, json_roundtrip, resolve_ref, source_salt,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+def _execute_payload(payload: Tuple[str, Any, int]) -> Tuple[str, Any, float]:
+    """Worker-side entry: resolve the function by name and run it.
+
+    Returns ``("ok", result, elapsed)`` or ``("error", message, elapsed)``;
+    never raises, so the only way a future fails is the worker dying.
+    """
+    ref, config, seed = payload
+    start = time.perf_counter()
+    try:
+        fn = resolve_ref(ref)
+        result = fn(config, seed)
+        canonical_json(result)  # non-JSON results must fail here, loudly
+        return ("ok", result, time.perf_counter() - start)
+    except BaseException as error:  # noqa: BLE001 -- structured, not lost
+        tail = traceback.format_exc(limit=3).strip().splitlines()[-1]
+        message = f"{type(error).__name__}: {error}"
+        if tail and tail not in message:
+            message = f"{message} [{tail}]"
+        return ("error", message, time.perf_counter() - start)
+
+
+@dataclass
+class Executor:
+    """Execution policy for campaigns: how wide, how patient, where the
+    cache lives, and which obs sink/metrics receive farm telemetry.
+
+    ``jobs=1`` (the default) is the in-process reference path; any
+    ``jobs>1`` requires every job function -- and every function named
+    inside job configs -- to be a module-level importable function.
+    """
+
+    jobs: int = 1
+    cache_dir: Optional[str] = None
+    timeout: Optional[float] = None   # wall seconds per job attempt
+    retries: int = 1                  # extra attempts after a failure
+    sink: Optional[Any] = None
+    metrics: Optional[MetricsRegistry] = None
+    salt: str = ""                    # campaign-level cache salt
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError(f"timeout must be > 0, got {self.timeout}")
+
+    def campaign(self, name: str = "campaign") -> "Campaign":
+        return Campaign(name, executor=self)
+
+
+@dataclass
+class CampaignResult:
+    """All outcomes of one campaign, in job-submission order."""
+
+    name: str
+    outcomes: List[JobOutcome]
+    workers: int
+    wall_seconds: float = 0.0
+
+    @property
+    def results(self) -> List[Any]:
+        """Per-slot results (``None`` where the job failed)."""
+        return [outcome.result for outcome in self.outcomes]
+
+    @property
+    def failures(self) -> List[JobFailure]:
+        return [o.failure for o in self.outcomes if o.failure is not None]
+
+    @property
+    def executed(self) -> int:
+        """Jobs that actually ran (cache hits excluded)."""
+        return sum(1 for o in self.outcomes if not o.cached)
+
+    @property
+    def cached(self) -> int:
+        return sum(1 for o in self.outcomes if o.cached)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def aggregate_json(self) -> str:
+        """The deterministic aggregate: canonical JSON of the ordered
+        result list.  Bit-for-bit identical across worker counts and
+        across cold/warm cache runs."""
+        return canonical_json(self.results)
+
+    def raise_on_failure(self) -> "CampaignResult":
+        if self.failures:
+            summary = "; ".join(f"{f.name}: {f.kind}: {f.message}"
+                                for f in self.failures[:5])
+            raise RuntimeError(
+                f"campaign {self.name!r}: {len(self.failures)} job(s) "
+                f"failed ({summary})")
+        return self
+
+    def stats(self) -> Dict[str, Any]:
+        return {"jobs": len(self.outcomes), "executed": self.executed,
+                "cached": self.cached, "failed": len(self.failures),
+                "workers": self.workers,
+                "wall_seconds": self.wall_seconds}
+
+    def __repr__(self) -> str:
+        return (f"CampaignResult({self.name!r}, jobs={len(self.outcomes)}, "
+                f"executed={self.executed}, cached={self.cached}, "
+                f"failed={len(self.failures)})")
+
+
+class Campaign:
+    """An ordered batch of jobs plus the policy to run them."""
+
+    def __init__(self, name: str = "campaign",
+                 executor: Optional[Executor] = None) -> None:
+        self.name = name
+        self.executor = executor if executor is not None else Executor()
+        self.jobs: List[Job] = []
+        self._salts: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    def add(self, fn: Callable[[Any, int], Any], config: Any = None,
+            seed: int = 0, name: Optional[str] = None) -> Job:
+        """Submit one job; submission order is aggregation order."""
+        job = Job.build(fn, config=config, seed=seed, name=name)
+        if self.executor.jobs > 1:
+            # Multi-process campaigns must be able to re-import the
+            # function by name inside a worker; fail at submission, not
+            # at the bottom of a 4-worker sweep.
+            resolve_ref(job.ref)
+        self.jobs.append(job)
+        return job
+
+    def extend(self, fn: Callable[[Any, int], Any],
+               specs: Iterable[Tuple[Any, int]]) -> List[Job]:
+        """Submit ``(config, seed)`` pairs in order."""
+        return [self.add(fn, config=config, seed=seed)
+                for config, seed in specs]
+
+    # ------------------------------------------------------------------
+    def _salt_for(self, job: Job) -> str:
+        salt = self._salts.get(job.ref)
+        if salt is None:
+            salt = f"{self.executor.salt}:{source_salt(job.fn)}"
+            self._salts[job.ref] = salt
+        return salt
+
+    def run(self) -> CampaignResult:
+        """Execute every job (cache permitting) and aggregate in order."""
+        executor = self.executor
+        metrics = executor.metrics if executor.metrics is not None \
+            else MetricsRegistry()
+        sink = executor.sink
+        started = time.perf_counter()
+        cache = ResultCache(executor.cache_dir) \
+            if executor.cache_dir else None
+
+        outcomes = [JobOutcome(index, job, job.key(self._salt_for(job)))
+                    for index, job in enumerate(self.jobs)]
+        metrics.counter("farm.jobs.submitted").inc(len(outcomes))
+
+        pending: List[JobOutcome] = []
+        for outcome in outcomes:
+            if cache is not None:
+                hit, result = cache.lookup(outcome.key)
+                if hit:
+                    outcome.result = result
+                    outcome.cached = True
+                    metrics.counter("farm.jobs.cached").inc()
+                    continue
+            pending.append(outcome)
+
+        if pending:
+            if executor.jobs <= 1:
+                self._run_inline(pending, cache, metrics, sink,
+                                 len(outcomes))
+            else:
+                self._run_pool(pending, cache, metrics, sink,
+                               len(outcomes))
+
+        result = CampaignResult(self.name, outcomes,
+                                workers=executor.jobs,
+                                wall_seconds=time.perf_counter() - started)
+        if sink is not None:
+            sink.instant("farm.campaign", track="farm",
+                         campaign=self.name, **result.stats())
+        return result
+
+    # ------------------------------------------------------------------
+    def _complete(self, outcome: JobOutcome, result: Any, elapsed: float,
+                  cache: Optional[ResultCache], metrics: MetricsRegistry,
+                  sink: Optional[Any], total: int, done: int) -> None:
+        outcome.result = json_roundtrip(result)
+        outcome.elapsed = elapsed
+        metrics.counter("farm.jobs.executed").inc()
+        metrics.histogram("farm.job_seconds").observe(elapsed)
+        if cache is not None:
+            cache.store(outcome.key, outcome.result,
+                        meta={"fn": outcome.job.ref,
+                              "name": outcome.job.name,
+                              "seed": outcome.job.seed,
+                              "config": outcome.job.config})
+        self._progress(outcome, "ok", metrics, sink, total, done)
+
+    def _fail(self, outcome: JobOutcome, kind: str, message: str,
+              metrics: MetricsRegistry, sink: Optional[Any], total: int,
+              done: int) -> None:
+        outcome.failure = JobFailure(
+            name=outcome.job.name, ref=outcome.job.ref,
+            seed=outcome.job.seed, kind=kind, message=message,
+            attempts=outcome.attempts)
+        metrics.counter("farm.jobs.failed").inc()
+        metrics.counter(f"farm.failures.{kind}").inc()
+        self._progress(outcome, kind, metrics, sink, total, done)
+
+    def _progress(self, outcome: JobOutcome, status: str,
+                  metrics: MetricsRegistry, sink: Optional[Any],
+                  total: int, done: int) -> None:
+        if sink is not None:
+            sink.instant("farm.job", track="farm", job=outcome.job.name,
+                         status=status, attempts=outcome.attempts,
+                         elapsed=round(outcome.elapsed, 6))
+            sink.instant("farm.progress", track="farm", done=done,
+                         total=total, campaign=self.name)
+
+    # ------------------------------------------------------------------
+    # in-process reference path
+    # ------------------------------------------------------------------
+    def _run_inline(self, pending: List[JobOutcome],
+                    cache: Optional[ResultCache],
+                    metrics: MetricsRegistry, sink: Optional[Any],
+                    total: int) -> None:
+        done = total - len(pending)
+        for outcome in pending:
+            outcome.attempts = 1
+            start = time.perf_counter()
+            done += 1
+            try:
+                result = outcome.job.fn(outcome.job.config,
+                                        outcome.job.seed)
+                canonical_json(result)
+            except BaseException as error:  # noqa: BLE001
+                metrics.counter("farm.errors").inc()
+                self._fail(outcome, FAILURE_ERROR,
+                           f"{type(error).__name__}: {error}", metrics,
+                           sink, total, done)
+                continue
+            self._complete(outcome, result, time.perf_counter() - start,
+                           cache, metrics, sink, total, done)
+
+    # ------------------------------------------------------------------
+    # multi-process path
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _make_pool(workers: int) -> ProcessPoolExecutor:
+        # Prefer fork where available: workers inherit imported modules,
+        # so job functions defined in scripts and test modules resolve.
+        methods = multiprocessing.get_all_start_methods()
+        context = multiprocessing.get_context("fork") \
+            if "fork" in methods else None
+        return ProcessPoolExecutor(max_workers=workers, mp_context=context)
+
+    @staticmethod
+    def _teardown_pool(pool: ProcessPoolExecutor) -> None:
+        """Tear a pool down without waiting on hung or dead workers."""
+        processes = list(getattr(pool, "_processes", {}).values())
+        pool.shutdown(wait=False, cancel_futures=True)
+        for process in processes:
+            try:
+                process.terminate()
+            except (OSError, ValueError, AttributeError):
+                pass
+
+    def _run_pool(self, pending: List[JobOutcome],
+                  cache: Optional[ResultCache], metrics: MetricsRegistry,
+                  sink: Optional[Any], total: int) -> None:
+        queue = deque(pending)
+        state = {"done": total - len(pending)}
+        while queue:
+            suspects = self._drain(queue, self.executor.jobs, cache,
+                                   metrics, sink, total, state)
+            # A multi-job pool break cannot attribute blame, so the
+            # interrupted jobs come back as suspects with their attempt
+            # refunded.  Re-run each alone: in a width-1 pool a crash is
+            # attributable, so the guilty job is charged and retried or
+            # failed without starving its innocent siblings.
+            for suspect in suspects:
+                solo = deque([suspect])
+                self._drain(solo, 1, cache, metrics, sink, total, state)
+
+    def _drain(self, queue: "deque[JobOutcome]", width: int,
+               cache: Optional[ResultCache], metrics: MetricsRegistry,
+               sink: Optional[Any], total: int,
+               state: Dict[str, int]) -> List[JobOutcome]:
+        """Run jobs from ``queue`` on pools of ``width`` workers until
+        the queue drains, rebuilding the pool after timeouts and
+        attributable crashes.  Returns the interrupted jobs of an
+        *unattributable* pool break (attempts refunded, submission
+        order) for isolated re-execution; ``[]`` once the queue is
+        empty."""
+        executor = self.executor
+        max_attempts = executor.retries + 1
+
+        def retry_or_fail(outcome: JobOutcome, kind: str,
+                          message: str) -> None:
+            if outcome.attempts < max_attempts:
+                metrics.counter("farm.jobs.retried").inc()
+                queue.append(outcome)
+            else:
+                state["done"] += 1
+                self._fail(outcome, kind, message, metrics, sink, total,
+                           state["done"])
+
+        while queue:
+            pool = self._make_pool(width)
+            rebuild = False
+            in_flight: Dict[Any, Tuple[JobOutcome, float]] = {}
+            try:
+                while (queue or in_flight) and not rebuild:
+                    while queue and len(in_flight) < width:
+                        outcome = queue.popleft()
+                        outcome.attempts += 1
+                        job = outcome.job
+                        future = pool.submit(
+                            _execute_payload,
+                            (job.ref, job.config, job.seed))
+                        in_flight[future] = (outcome, time.monotonic())
+
+                    wait_timeout = None
+                    if executor.timeout is not None:
+                        now = time.monotonic()
+                        deadlines = [start + executor.timeout - now
+                                     for _, start in in_flight.values()]
+                        wait_timeout = max(min(deadlines), 0.01)
+                    finished, _ = wait(set(in_flight), timeout=wait_timeout,
+                                       return_when=FIRST_COMPLETED)
+
+                    broken: List[JobOutcome] = []
+                    for future in finished:
+                        outcome, _start = in_flight.pop(future)
+                        try:
+                            status, payload, elapsed = future.result()
+                        except BrokenProcessPool:
+                            # Completed siblings in this same batch keep
+                            # their results; only the interrupted ones
+                            # are collected.
+                            broken.append(outcome)
+                            continue
+                        if status == "ok":
+                            state["done"] += 1
+                            self._complete(outcome, payload, elapsed,
+                                           cache, metrics, sink, total,
+                                           state["done"])
+                        else:
+                            metrics.counter("farm.errors").inc()
+                            retry_or_fail(outcome, FAILURE_ERROR, payload)
+
+                    if broken:
+                        metrics.counter("farm.crashes").inc()
+                        if len(broken) == 1 and not in_flight:
+                            # Alone in the pool: blame is certain.
+                            retry_or_fail(broken[0], FAILURE_CRASH,
+                                          "worker process died")
+                            rebuild = True
+                            continue
+                        suspects = broken + [o for o, _ in
+                                             in_flight.values()]
+                        in_flight.clear()
+                        for suspect in suspects:
+                            suspect.attempts -= 1
+                        return sorted(suspects, key=lambda o: o.index)
+
+                    if executor.timeout is None:
+                        continue
+                    now = time.monotonic()
+                    expired = [(future, outcome)
+                               for future, (outcome, start)
+                               in in_flight.items()
+                               if now - start >= executor.timeout]
+                    if not expired:
+                        continue
+                    # Hung workers cannot be cancelled individually:
+                    # replace the pool.  The expired jobs are charged;
+                    # innocent in-flight siblings are requeued with
+                    # their interrupted attempt refunded.
+                    for future, outcome in expired:
+                        in_flight.pop(future, None)
+                        metrics.counter("farm.timeouts").inc()
+                        retry_or_fail(
+                            outcome, FAILURE_TIMEOUT,
+                            f"exceeded {executor.timeout:g}s timeout")
+                    for outcome, _start in in_flight.values():
+                        outcome.attempts -= 1
+                        queue.append(outcome)
+                    in_flight.clear()
+                    rebuild = True
+            finally:
+                self._teardown_pool(pool)
+        return []
+
+
+def run_campaign(fn: Callable[[Any, int], Any],
+                 specs: Iterable[Tuple[Any, int]],
+                 executor: Optional[Executor] = None,
+                 name: str = "campaign") -> CampaignResult:
+    """One-shot convenience: run ``fn`` over ``(config, seed)`` pairs."""
+    campaign = Campaign(name, executor=executor)
+    campaign.extend(fn, specs)
+    return campaign.run()
+
+
+__all__ = ["Campaign", "CampaignResult", "Executor", "run_campaign"]

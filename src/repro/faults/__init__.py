@@ -34,5 +34,7 @@ instructions on every run.
 
 from repro.faults.plan import FaultPlan, FaultSpec
 from repro.faults.injector import FaultInjector
+from repro.faults.campaign import plan_config, run_fault_campaign, seed_sweep
 
-__all__ = ["FaultInjector", "FaultPlan", "FaultSpec"]
+__all__ = ["FaultInjector", "FaultPlan", "FaultSpec", "plan_config",
+           "run_fault_campaign", "seed_sweep"]

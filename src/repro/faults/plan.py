@@ -173,6 +173,86 @@ class FaultPlan:
         return self._rule("corrupt", p)
 
     # ------------------------------------------------------------------
+    # fluent aliases: the campaign-config spelling
+    # ------------------------------------------------------------------
+    def crash(self, core: int, at: float) -> "FaultPlan":
+        """Fluent alias of :meth:`crash_core`."""
+        return self.crash_core(core, at=at)
+
+    def hang(self, core: int, at: float) -> "FaultPlan":
+        """Fluent alias of :meth:`hang_core`."""
+        return self.hang_core(core, at=at)
+
+    def kill(self, process: str, at: float) -> "FaultPlan":
+        """Fluent alias of :meth:`kill_process`."""
+        return self.kill_process(process, at=at)
+
+    def flip_ram(self, addr: int, bit: int, at: float) -> "FaultPlan":
+        """Fluent alias of :meth:`flip_ram_bit`."""
+        return self.flip_ram_bit(addr, bit, at=at)
+
+    def flip_reg(self, core: int, reg: int, bit: int,
+                 at: float) -> "FaultPlan":
+        """Fluent alias of :meth:`flip_register`."""
+        return self.flip_register(core, reg, bit, at=at)
+
+    def stuck_irq(self, core: int, at: float,
+                  duration: Optional[float] = None) -> "FaultPlan":
+        """Fluent alias of :meth:`stick_interrupt`."""
+        return self.stick_interrupt(core, at=at, duration=duration)
+
+    def noc_drop(self, p: float) -> "FaultPlan":
+        """Fluent alias of :meth:`drop_messages`."""
+        return self.drop_messages(p)
+
+    def noc_duplicate(self, p: float) -> "FaultPlan":
+        """Fluent alias of :meth:`duplicate_messages`."""
+        return self.duplicate_messages(p)
+
+    def noc_delay(self, p: float, max_extra: float) -> "FaultPlan":
+        """Fluent alias of :meth:`delay_messages`."""
+        return self.delay_messages(p, max_extra)
+
+    def noc_corrupt(self, p: float) -> "FaultPlan":
+        """Fluent alias of :meth:`corrupt_messages`."""
+        return self.corrupt_messages(p)
+
+    # ------------------------------------------------------------------
+    # serialization: plans travel as plain JSON through farm job specs
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-JSON form of this plan (inverse of :meth:`from_dict`).
+
+        The schedule is emitted as already-drawn data, so a plan built
+        with randomized helpers round-trips exactly."""
+        return {
+            "seed": self.seed,
+            "scheduled": [
+                {"time": spec.time, "kind": spec.kind,
+                 "target": spec.target, "params": dict(spec.params)}
+                for spec in self.scheduled],
+            "message_rules": {
+                kind: {"p": rule.probability,
+                       "max_extra": rule.max_extra}
+                for kind, rule in sorted(self.message_rules.items())},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultPlan":
+        """Rebuild a plan from :meth:`to_dict` output (JSON round-trip
+        safe, so farm workers can reconstruct campaign plans from job
+        configs)."""
+        plan = cls(seed=data.get("seed", 0))
+        for spec in data.get("scheduled", ()):
+            plan.at(spec["time"], spec["kind"], spec.get("target"),
+                    **spec.get("params", {}))
+        for kind, rule in data.get("message_rules", {}).items():
+            if kind not in MESSAGE_RULES:
+                raise ValueError(f"unknown message rule kind {kind!r}")
+            plan._rule(kind, rule["p"], rule.get("max_extra", 0.0))
+        return plan
+
+    # ------------------------------------------------------------------
     @property
     def empty(self) -> bool:
         return not self.scheduled and not self.message_rules

@@ -27,6 +27,7 @@ from repro.hopes.frontend import cic_from_sdf, passthrough_body, sink_body, sour
 from repro.hopes.explore import (
     ExplorationResult,
     cell_candidates,
+    evaluate_architecture_job,
     explore_architectures,
     smp_candidates,
 )
@@ -34,7 +35,7 @@ from repro.hopes.explore import (
 __all__ = [
     "ArchInfo", "ExplorationResult", "cell_candidates", "cic_from_sdf",
     "passthrough_body", "sink_body", "source_body",
-    "explore_architectures", "smp_candidates", "CICApplication", "CICChannel", "CICTask", "CICTranslator",
+    "evaluate_architecture_job", "explore_architectures", "smp_candidates", "CICApplication", "CICChannel", "CICTask", "CICTranslator",
     "CellTarget", "ExecutionReport", "GeneratedTarget", "MPCoreTarget",
     "ProcessorInfo", "RuntimeSystem", "TranslationError", "parse_arch_xml",
     "to_arch_xml",

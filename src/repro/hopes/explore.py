@@ -15,9 +15,10 @@ end-to-end time).  This module does exactly that.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
-from repro.hopes.archfile import ArchInfo, InterconnectInfo, ProcessorInfo
+from repro.hopes.archfile import (ArchInfo, InterconnectInfo, ProcessorInfo,
+                                  parse_arch_xml, to_arch_xml)
 from repro.hopes.cic import CICApplication
 from repro.hopes.runtime import ExecutionReport
 from repro.hopes.translator import CICTranslator, TranslationError
@@ -101,11 +102,55 @@ class ExplorationResult:
             return None
         return min(self.points, key=lambda p: p.end_time)
 
+    def summary(self) -> Dict[str, Any]:
+        """Plain-JSON summary of the whole exploration (candidate order
+        preserved) -- the deterministic artifact campaign runs compare."""
+        return {
+            "points": [{"arch": p.arch.name,
+                        "hardware_cost": p.hardware_cost,
+                        "end_time": p.end_time,
+                        "mapping": dict(sorted(p.mapping.items()))}
+                       for p in self.points],
+            "pareto": [p.arch.name for p in self.pareto],
+            "infeasible": list(self.infeasible),
+        }
+
+    def to_json(self) -> str:
+        from repro.farm.job import canonical_json
+        return canonical_json(self.summary())
+
+
+def evaluate_architecture_job(config: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """Farm job: evaluate one candidate architecture (pure function).
+
+    ``config`` carries the application factory by name
+    (``module:qualname``), the candidate as its XML text, and the
+    iteration count; the return value is plain JSON so it caches and
+    aggregates byte-identically.  ``seed`` is unused -- HOPES runs are
+    deterministic -- but part of the job identity.
+    """
+    from repro.farm.job import resolve_ref
+    app_factory = resolve_ref(config["app_factory"])
+    arch = parse_arch_xml(config["arch_xml"])
+    app = app_factory()
+    try:
+        translator = CICTranslator(app, arch)
+        generated = translator.translate()
+        report = generated.run(iterations=config.get("iterations", 20))
+    except (TranslationError, ValueError) as error:
+        return {"feasible": False, "arch": arch.name,
+                "error": f"{arch.name}: {error}"}
+    return {"feasible": True, "arch": arch.name,
+            "cost": hardware_cost(arch, config.get("costs")),
+            "mapping": generated.mapping,
+            "report": report.to_dict()}
+
 
 def explore_architectures(app_factory: Callable[[], CICApplication],
                           candidates: List[ArchInfo],
                           iterations: int = 20,
-                          costs: Optional[Dict[str, float]] = None) -> ExplorationResult:
+                          costs: Optional[Dict[str, float]] = None,
+                          executor: Optional[Any] = None) -> ExplorationResult:
     """Translate + run the app on every candidate; return the Pareto front
     of (hardware cost, end time).
 
@@ -113,7 +158,17 @@ def explore_architectures(app_factory: Callable[[], CICApplication],
     state lives in interpreters, so each run needs its own).  Candidates
     whose constraints cannot be satisfied are recorded as infeasible, not
     errors -- an explorer must survive bad corners of the space.
+
+    With a :class:`repro.farm.Executor`, candidates are evaluated as a
+    farm campaign (parallel workers, result cache) instead of the serial
+    in-process loop; ``app_factory`` must then be a module-level
+    function, and the result is identical to the serial path point for
+    point.  Exploration is a batch of independent platform evaluations
+    (the ANDROMEDA/MPPSoCGen framing), so the sweep shards cleanly.
     """
+    if executor is not None:
+        return _explore_on_farm(app_factory, candidates, iterations,
+                                costs, executor)
     result = ExplorationResult()
     for arch in candidates:
         app = app_factory()
@@ -127,6 +182,36 @@ def explore_architectures(app_factory: Callable[[], CICApplication],
         result.points.append(CandidatePoint(
             arch, hardware_cost(arch, costs), report.end_time,
             generated.mapping, report))
+    result.pareto = _pareto_front(result.points)
+    return result
+
+
+def _explore_on_farm(app_factory: Callable[[], CICApplication],
+                     candidates: List[ArchInfo], iterations: int,
+                     costs: Optional[Dict[str, float]],
+                     executor: Any) -> ExplorationResult:
+    from repro.farm.engine import Campaign
+    from repro.farm.job import func_ref
+    factory_ref = func_ref(app_factory)
+    campaign = Campaign("explore", executor=executor)
+    for arch in candidates:
+        config = {"app_factory": factory_ref,
+                  "arch_xml": to_arch_xml(arch),
+                  "iterations": iterations}
+        if costs is not None:
+            config["costs"] = costs
+        campaign.add(evaluate_architecture_job, config=config,
+                     name=arch.name)
+    outcome = campaign.run().raise_on_failure()
+    result = ExplorationResult()
+    for arch, payload in zip(candidates, outcome.results):
+        if not payload["feasible"]:
+            result.infeasible.append(payload["error"])
+            continue
+        result.points.append(CandidatePoint(
+            arch, payload["cost"], payload["report"]["end_time"],
+            dict(payload["mapping"]),
+            ExecutionReport.from_dict(payload["report"])))
     result.pareto = _pareto_front(result.points)
     return result
 
@@ -148,4 +233,5 @@ def _pareto_front(points: List[CandidatePoint]) -> List[CandidatePoint]:
 
 
 __all__ = ["CandidatePoint", "ExplorationResult", "cell_candidates",
-           "explore_architectures", "hardware_cost", "smp_candidates"]
+           "evaluate_architecture_job", "explore_architectures",
+           "hardware_cost", "smp_candidates"]

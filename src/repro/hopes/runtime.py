@@ -83,6 +83,42 @@ class ExecutionReport:
     def output_of(self, task: str) -> List[Any]:
         return self.sink_outputs.get(task, [])
 
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-JSON form (inverse of :meth:`from_dict`), so reports
+        travel through farm job results and result caches."""
+        return {
+            "target": self.target,
+            "end_time": self.end_time,
+            "sink_outputs": {k: list(v)
+                             for k, v in self.sink_outputs.items()},
+            "task_stats": {
+                name: {"firings": stats.firings, "ops": stats.ops,
+                       "busy_time": stats.busy_time,
+                       "deadline_misses": stats.deadline_misses}
+                for name, stats in self.task_stats.items()},
+            "channel_occupancy": dict(self.channel_occupancy),
+            "transfer_cycles": self.transfer_cycles,
+            "proc_busy": dict(self.proc_busy),
+            "requested_iterations": self.requested_iterations,
+            "starved_tasks": list(self.starved_tasks),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ExecutionReport":
+        return cls(
+            target=data["target"],
+            end_time=data.get("end_time", 0.0),
+            sink_outputs={k: list(v) for k, v in
+                          data.get("sink_outputs", {}).items()},
+            task_stats={name: TaskStats(**stats) for name, stats in
+                        data.get("task_stats", {}).items()},
+            channel_occupancy=dict(data.get("channel_occupancy", {})),
+            transfer_cycles=data.get("transfer_cycles", 0.0),
+            proc_busy=dict(data.get("proc_busy", {})),
+            requested_iterations=data.get("requested_iterations", 0),
+            starved_tasks=list(data.get("starved_tasks", [])),
+        )
+
 
 # Abstract interpreter ops per simulated cycle on a 1.0x processor.
 OPS_PER_CYCLE = 1.0

@@ -51,8 +51,11 @@ from repro.maps.annotations import (
 )
 from repro.maps.annealing import (
     AnnealingReport,
+    RestartReport,
+    annealing_restart_job,
     evaluate_assignment,
     map_task_graph_annealing,
+    map_task_graph_annealing_restarts,
     map_task_graph_random,
 )
 
@@ -63,7 +66,8 @@ __all__ = [
     "PartitionResult", "PlatformSpec", "RTClass", "RiscSchedulerModel",
     "TaskEdge", "TaskGraph", "TaskNode", "generate_data_parallel_code",
     "generate_pipeline_code", "evaluate_assignment", "map_multi_app", "map_task_graph",
-    "map_task_graph_annealing", "map_task_graph_random",
+    "RestartReport", "annealing_restart_job", "map_task_graph_annealing",
+    "map_task_graph_annealing_restarts", "map_task_graph_random",
     "partition_data_parallel", "partition_function", "partition_pipeline",
     "simulate_mapping", "task_farm_utilization",
 ]

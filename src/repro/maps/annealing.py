@@ -133,6 +133,77 @@ def map_task_graph_annealing(graph: TaskGraph, platform: PlatformSpec,
     return report
 
 
+def annealing_restart_job(config: Dict[str, object], seed: int) -> Dict[str, object]:
+    """Farm job: one annealing restart (pure function of config + seed).
+
+    ``config`` carries the graph and platform as plain dicts
+    (:meth:`TaskGraph.to_dict` / :meth:`PlatformSpec.to_dict`) plus the
+    annealing knobs; the result is the restart's best assignment and
+    trajectory summary as plain JSON.
+    """
+    graph = TaskGraph.from_dict(config["graph"])
+    platform = PlatformSpec.from_dict(config["platform"])
+    report = map_task_graph_annealing(
+        graph, platform,
+        iterations=config.get("iterations", 2000),
+        start_temperature=config.get("start_temperature"),
+        cooling=config.get("cooling", 0.995),
+        seed=seed)
+    return {
+        "seed": seed,
+        "makespan": report.best.makespan,
+        "assignment": dict(sorted(report.best.assignment.items())),
+        "initial_makespan": report.initial_makespan,
+        "accepted_moves": report.accepted_moves,
+        "improved_moves": report.improved_moves,
+    }
+
+
+@dataclass
+class RestartReport:
+    """Outcome of a multi-restart annealing campaign."""
+
+    best: Mapping
+    best_seed: int
+    runs: List[Dict[str, object]] = field(default_factory=list)
+
+    @property
+    def makespans(self) -> List[float]:
+        return [run["makespan"] for run in self.runs]
+
+
+def map_task_graph_annealing_restarts(
+        graph: TaskGraph, platform: PlatformSpec, restarts: int = 4,
+        iterations: int = 2000, start_temperature: Optional[float] = None,
+        cooling: float = 0.995, base_seed: int = 0,
+        executor: Optional[object] = None) -> RestartReport:
+    """Best-of-N annealing: independent restarts from seeds
+    ``base_seed .. base_seed+restarts-1``.
+
+    Restarts are independent pure functions of (config, seed), so they
+    run as a farm campaign; with an :class:`repro.farm.Executor` they
+    shard across workers (and hit its result cache), with ``None`` they
+    run in-process -- both paths produce the identical report.  The
+    winner is the lowest makespan, ties broken by lowest seed.
+    """
+    from repro.farm.engine import Campaign
+
+    if restarts < 1:
+        raise ValueError(f"restarts must be >= 1, got {restarts}")
+    config = {"graph": graph.to_dict(), "platform": platform.to_dict(),
+              "iterations": iterations,
+              "start_temperature": start_temperature, "cooling": cooling}
+    campaign = Campaign("annealing-restarts", executor=executor)
+    for seed in range(base_seed, base_seed + restarts):
+        campaign.add(annealing_restart_job, config=config, seed=seed,
+                     name=f"anneal[seed={seed}]")
+    runs = campaign.run().raise_on_failure().results
+    winner = min(runs, key=lambda run: (run["makespan"], run["seed"]))
+    best = evaluate_assignment(graph, platform,
+                               dict(winner["assignment"]))
+    return RestartReport(best=best, best_seed=winner["seed"], runs=runs)
+
+
 def map_task_graph_random(graph: TaskGraph, platform: PlatformSpec,
                           tries: int = 50, seed: int = 0) -> Mapping:
     """Random-restart baseline: best of ``tries`` random assignments."""
@@ -148,5 +219,6 @@ def map_task_graph_random(graph: TaskGraph, platform: PlatformSpec,
     return best
 
 
-__all__ = ["AnnealingReport", "evaluate_assignment",
-           "map_task_graph_annealing", "map_task_graph_random"]
+__all__ = ["AnnealingReport", "RestartReport", "annealing_restart_job",
+           "evaluate_assignment", "map_task_graph_annealing",
+           "map_task_graph_annealing_restarts", "map_task_graph_random"]

@@ -94,6 +94,33 @@ class PlatformSpec:
             platform.add_pe(f"pe{index}", pe_class)
         return platform
 
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain-JSON form (inverse of :meth:`from_dict`), used by farm
+        job configs to ship a platform to worker processes."""
+        return {
+            "name": self.name,
+            "pes": [{"name": pe.name, "pe_class": pe.pe_class.value,
+                     "freq": pe.freq} for pe in self.pes],
+            "channel_setup_cost": self.channel_setup_cost,
+            "channel_word_cost": self.channel_word_cost,
+            "scheduler_dispatch_cost": self.scheduler_dispatch_cost,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PlatformSpec":
+        platform = cls(
+            name=data.get("name", "platform"),
+            channel_setup_cost=data.get("channel_setup_cost", 10.0),
+            channel_word_cost=data.get("channel_word_cost", 0.5),
+            scheduler_dispatch_cost=data.get("scheduler_dispatch_cost",
+                                             50.0))
+        for pe in data.get("pes", ()):
+            platform.add_pe(pe["name"],
+                            PEClass(pe.get("pe_class", "risc")),
+                            pe.get("freq", 1.0))
+        return platform
+
 
 @dataclass
 class ApplicationSpec:

@@ -137,5 +137,47 @@ class TaskGraph:
         return (f"TaskGraph({self.name!r}, {len(self.nodes)} tasks, "
                 f"{len(self.edges)} edges)")
 
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """Cost-model view as plain JSON (inverse of :meth:`from_dict`).
+
+        Carries everything mapping and scheduling consume -- costs,
+        kinds, class factors, preferences, edge volumes -- but NOT the
+        owned AST statements: a rehydrated graph schedules identically
+        yet cannot be code-generated.  That is the right trade for farm
+        job configs, where the graph must travel as data.
+        """
+        return {
+            "name": self.name,
+            "nodes": [{"name": node.name, "cost": node.cost,
+                       "kind": node.kind,
+                       "preferred_pe": (node.preferred_pe.value
+                                        if node.preferred_pe else None),
+                       "class_factor": {
+                           pe_class.value: factor for pe_class, factor
+                           in sorted(node.class_factor.items(),
+                                     key=lambda kv: kv[0].value)}}
+                      for node in self.nodes.values()],
+            "edges": [{"src": e.src, "dst": e.dst, "words": e.words,
+                       "label": e.label} for e in self.edges],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "TaskGraph":
+        graph = cls(name=data.get("name", "taskgraph"))
+        for spec in data.get("nodes", ()):
+            preferred = spec.get("preferred_pe")
+            graph.add_task(
+                spec["name"], cost=spec.get("cost", 1.0),
+                kind=spec.get("kind", "compute"),
+                preferred_pe=PEClass(preferred) if preferred else None,
+                class_factor={PEClass(k): v for k, v in
+                              spec.get("class_factor", {}).items()})
+        for spec in data.get("edges", ()):
+            graph.connect(spec["src"], spec["dst"],
+                          words=spec.get("words", 1),
+                          label=spec.get("label", ""))
+        return graph
+
 
 __all__ = ["TaskEdge", "TaskGraph", "TaskNode"]

@@ -25,7 +25,7 @@ This package provides the full stack:
 from repro.vp.isa import AsmError, AsmProgram, assemble
 from repro.vp.iss import CoreState, Cpu
 from repro.vp.bus import Bus, BusError
-from repro.vp.soc import SoC, SoCConfig
+from repro.vp.soc import Instrumentation, SoC, SoCConfig
 from repro.vp.debugger import Breakpoint, Debugger, Watchpoint
 from repro.vp.intrusive import HardwareProbe
 from repro.vp.script import DebugScriptEngine, ScriptError
@@ -33,7 +33,8 @@ from repro.vp.trace import TraceEvent, Tracer
 
 __all__ = [
     "AsmError", "AsmProgram", "Breakpoint", "Bus", "BusError", "CoreState",
-    "Cpu", "Debugger", "DebugScriptEngine", "HardwareProbe", "SoC",
+    "Cpu", "Debugger", "DebugScriptEngine", "HardwareProbe",
+    "Instrumentation", "SoC",
     "SoCConfig", "ScriptError", "TraceEvent", "Tracer", "Watchpoint",
     "assemble",
 ]

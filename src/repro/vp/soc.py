@@ -155,42 +155,141 @@ class SoC:
             cpu.release_sync()
 
     # ------------------------------------------------------------------
+    def instrument(self, obs=None, sanitizer=None, faults=None,
+                   sink=None, metrics=None) -> "Instrumentation":
+        """Attach any combination of instrumentation in one call and
+        get back one :class:`Instrumentation` handle bundle.
+
+        - ``obs``: ``True``, a :class:`~repro.obs.TraceSink`, or an
+          options dict (``sink``, ``metrics``, ``trace_instructions``,
+          ``trace_memory``) -- installs a kernel probe plus a
+          :class:`~repro.vp.trace.Tracer` (non-intrusive).
+        - ``sanitizer``: ``True`` or an options dict (``sink``,
+          ``metrics``) -- attaches the happens-before race sanitizer
+          (forces the event-exact per-instruction path until
+          ``handle.detach()``).
+        - ``faults``: a :class:`~repro.faults.FaultInjector`, a
+          :class:`~repro.faults.FaultPlan`, or a plan dict
+          (:meth:`FaultPlan.from_dict`) -- registers this platform's
+          hardware-fault handlers (RAM/register bit flips, stuck
+          interrupt lines).
+        - ``sink`` / ``metrics``: shared defaults for every attachment
+          that does not name its own.  With ``obs`` requested and no
+          sink anywhere, a fresh ``TraceSink`` is created; with no
+          metrics anywhere, a fresh ``MetricsRegistry`` is shared.
+
+        An option key *present* in an attachment's dict always wins,
+        even when its value is ``None`` -- that is how the legacy
+        ``attach_*`` delegates reproduce their exact old behavior.
+        """
+        from repro.obs.metrics import MetricsRegistry
+        from repro.obs.trace import TraceSink
+
+        def opts_of(value, allowed, what):
+            if value is True:
+                return {}
+            if not isinstance(value, dict):
+                return None
+            unknown = set(value) - allowed
+            if unknown:
+                raise ValueError(f"unknown {what} option(s): "
+                                 f"{sorted(unknown)}")
+            return dict(value)
+
+        obs_opts = opts_of(obs, {"sink", "metrics", "trace_instructions",
+                                 "trace_memory"}, "obs")
+        if obs_opts is None and obs is not None and obs is not False:
+            obs_opts = {"sink": obs}  # a TraceSink instance
+        san_opts = opts_of(sanitizer, {"sink", "metrics"}, "sanitizer")
+        if san_opts is None and sanitizer not in (None, False):
+            raise TypeError(f"sanitizer must be True or an options "
+                            f"dict, got {sanitizer!r}")
+
+        if sink is None and obs_opts is not None \
+                and obs_opts.get("sink") is None:
+            sink = TraceSink()
+        if metrics is None and (obs_opts is not None
+                                or san_opts is not None
+                                or faults is not None):
+            metrics = MetricsRegistry()
+
+        def pick(opts, key, default):
+            return opts[key] if key in opts else default
+
+        handle = Instrumentation(soc=self, sink=sink, metrics=metrics)
+
+        if obs_opts is not None:
+            from repro.obs.probe import observe
+            from repro.vp.trace import Tracer
+            obs_sink = pick(obs_opts, "sink", sink)
+            obs_metrics = pick(obs_opts, "metrics", metrics)
+            handle.probe = observe(self.sim, sink=obs_sink,
+                                   metrics=obs_metrics)
+            handle.tracer = Tracer(
+                self,
+                trace_instructions=obs_opts.get("trace_instructions",
+                                                False),
+                trace_memory=obs_opts.get("trace_memory", True),
+                sink=obs_sink)
+
+        if san_opts is not None:
+            from repro.sanitize.detector import attach_sanitizer
+            handle.detector = attach_sanitizer(
+                self, sink=pick(san_opts, "sink", sink),
+                metrics=pick(san_opts, "metrics", metrics))
+
+        if faults is not None and faults is not False:
+            handle.injector = self._resolve_injector(faults, sink,
+                                                     metrics)
+            handle.injector.attach_soc(self)
+
+        return handle
+
+    def _resolve_injector(self, faults, sink, metrics):
+        from repro.faults.injector import FaultInjector
+        from repro.faults.plan import FaultPlan
+        if isinstance(faults, FaultInjector):
+            return faults
+        if isinstance(faults, dict):
+            faults = FaultPlan.from_dict(faults)
+        if isinstance(faults, FaultPlan):
+            return FaultInjector(self.sim, faults, sink=sink,
+                                 metrics=metrics)
+        raise TypeError(f"faults must be a FaultInjector, FaultPlan or "
+                        f"plan dict, got {faults!r}")
+
+    # -- legacy single-purpose entry points: thin instrument() delegates
     def attach_observability(self, sink, metrics=None,
                              trace_instructions: bool = False,
                              trace_memory: bool = True):
         """Wire the whole platform into a shared observability sink.
 
-        Installs a kernel probe on the simulator (queue depth, dwell
-        times, per-process spans) and a :class:`~repro.vp.trace.Tracer`
-        emitting call/bus/irq records.  Returns ``(tracer, probe)``.
-        Non-intrusive: nothing here consumes simulated time.
+        Legacy delegate of :meth:`instrument`.  Returns
+        ``(tracer, probe)``.  Non-intrusive: nothing here consumes
+        simulated time.
         """
-        from repro.obs.probe import observe
-        from repro.vp.trace import Tracer
-        probe = observe(self.sim, sink=sink, metrics=metrics)
-        tracer = Tracer(self, trace_instructions=trace_instructions,
-                        trace_memory=trace_memory, sink=sink)
-        return tracer, probe
+        handle = self.instrument(obs={
+            "sink": sink, "metrics": metrics,
+            "trace_instructions": trace_instructions,
+            "trace_memory": trace_memory})
+        return handle.tracer, handle.probe
 
     def attach_sanitizer(self, sink=None, metrics=None):
         """Attach a happens-before data-race sanitizer to this platform.
 
-        Returns the :class:`~repro.sanitize.RaceSanitizer`.  Attaching
-        forces every core onto the event-exact per-instruction path
-        (``acquire_sync``), exactly like a debugger; ``detach()`` on the
-        returned sanitizer restores the fast path.
+        Legacy delegate of :meth:`instrument`.  Returns the
+        :class:`~repro.sanitize.RaceSanitizer`; ``detach()`` on it
+        restores the ISS fast path.
         """
-        from repro.sanitize.detector import attach_sanitizer
-        return attach_sanitizer(self, sink=sink, metrics=metrics)
+        return self.instrument(
+            sanitizer={"sink": sink, "metrics": metrics}).detector
 
     def attach_faults(self, injector) -> None:
         """Register this platform's hardware-fault handlers (RAM and
         register bit flips, stuck interrupt lines) on a
-        :class:`~repro.faults.FaultInjector`.  The injector's kernel
-        observer also forces every core onto the event-exact
-        per-instruction path, so flips land between the same two
-        instructions on every run."""
-        injector.attach_soc(self)
+        :class:`~repro.faults.FaultInjector`.  Legacy delegate of
+        :meth:`instrument`."""
+        self.instrument(faults=injector)
 
     # ------------------------------------------------------------------
     def signals(self) -> Dict[str, Signal]:
@@ -219,6 +318,39 @@ class SoC:
         return self.bus.peek(address)
 
 
+@dataclass
+class Instrumentation:
+    """Everything :meth:`SoC.instrument` attached, in one handle.
+
+    Fields not requested stay ``None``.  ``sink``/``metrics`` are the
+    shared defaults the attachments were wired to (an attachment that
+    named its own sink keeps it; this handle does not track that).
+    """
+
+    soc: "SoC"
+    sink: Optional[object] = None
+    metrics: Optional[object] = None
+    tracer: Optional[object] = None
+    probe: Optional[object] = None
+    detector: Optional[object] = None
+    injector: Optional[object] = None
+
+    def detach(self) -> None:
+        """Release the intrusive attachments: the sanitizer detaches
+        fully (restoring the ISS fast path) and the kernel observers of
+        probe and injector are removed.  Tracer hooks are passive and
+        remain installed."""
+        if self.detector is not None:
+            self.detector.detach()
+            self.detector = None
+        if self.probe is not None:
+            self.soc.sim.remove_observer(self.probe)
+            self.probe = None
+        if self.injector is not None:
+            self.soc.sim.remove_observer(self.injector)
+            self.injector = None
+
+
 __all__ = ["DMA_BASE", "INTC_BASE", "INTC_STRIDE", "IRQ_VECTOR",
-           "MBOX_BASE", "MBOX_STRIDE", "SEM_BASE",
+           "Instrumentation", "MBOX_BASE", "MBOX_STRIDE", "SEM_BASE",
            "SoC", "SoCConfig", "TIMER_BASE", "TIMER_STRIDE", "UART_BASE"]
