@@ -486,6 +486,10 @@ class Interpreter:
             return self._address_of(expr.operand, env, cells)
         value = self._eval(expr.operand, env, cells)
         if expr.op == "-":
+            # Negating INT_MIN overflows on a 32-bit target; wrap like
+            # every other int arithmetic op (floats stay host-precision).
+            if type(value) is int:
+                return _wrap32(-value)
             return -value
         if expr.op == "!":
             return 0 if self._truthy(value) else 1
@@ -572,9 +576,13 @@ def _c_div(left: Any, right: Any) -> Any:
     if right == 0:
         raise InterpError("division by zero")
     if isinstance(left, int) and isinstance(right, int):
-        # C semantics: truncation toward zero.
+        # C semantics: truncation toward zero, wrapped to the 32-bit word
+        # (the single overflow case, INT_MIN / -1, wraps back to INT_MIN
+        # exactly like the ISS's div -- see repro.vp.iss._div32).
         quotient = abs(left) // abs(right)
-        return quotient if (left >= 0) == (right >= 0) else -quotient
+        if (left >= 0) != (right >= 0):
+            quotient = -quotient
+        return _wrap32(quotient)
     return left / right
 
 
@@ -606,10 +614,31 @@ def _c_shr(left: Any, right: Any) -> int:
     return _wrap32(int(left)) >> (int(right) & 31)
 
 
+def _c_add(left: Any, right: Any) -> Any:
+    # int + int models the 32-bit target word and wraps (matching the
+    # ISS's add -- both execution paths of the same firmware must agree
+    # bit for bit); float arithmetic stays host-precision like C doubles.
+    if type(left) is int and type(right) is int:
+        return _wrap32(left + right)
+    return left + right
+
+
+def _c_sub(left: Any, right: Any) -> Any:
+    if type(left) is int and type(right) is int:
+        return _wrap32(left - right)
+    return left - right
+
+
+def _c_mul(left: Any, right: Any) -> Any:
+    if type(left) is int and type(right) is int:
+        return _wrap32(left * right)
+    return left * right
+
+
 _BIN_HANDLERS: Dict[str, Callable[[Any, Any], Any]] = {
-    "+": lambda a, b: a + b,
-    "-": lambda a, b: a - b,
-    "*": lambda a, b: a * b,
+    "+": _c_add,
+    "-": _c_sub,
+    "*": _c_mul,
     "/": _c_div,
     "%": _c_mod,
     "==": lambda a, b: 1 if a == b else 0,

@@ -181,7 +181,14 @@ class FaultInjector(SimObserver):
             cpu = soc.cores[core]
             if not 0 < reg < len(cpu.regs):  # r0 is hardwired to zero
                 return False
-            cpu.regs[reg] ^= (1 << bit)
+            # Flip within the 32-bit word and store the canonical signed
+            # image: registers are architecturally 32 bits wide, and a
+            # raw Python XOR on a negative (two's-complement) value would
+            # leave a value no 32-bit core could hold.
+            flipped = (cpu.regs[reg] & 0xFFFFFFFF) ^ (1 << (bit & 31))
+            if flipped & 0x80000000:
+                flipped -= 0x1_0000_0000
+            cpu.regs[reg] = flipped
             return True
 
         def irq_stuck(spec: FaultSpec) -> bool:

@@ -58,6 +58,12 @@ CYCLES = {"mul": 3, "div": 3, "lw": 2, "sw": 2, "swap": 2}
 DEFAULT_CYCLES = 1
 DEFAULT_QUANTUM = 64
 
+# Execution backend tiers (see Cpu.__init__ and repro.vp.jit):
+# "reference" is the event-exact per-instruction oracle, "fast" the
+# closure-dispatch batcher, "compiled" the superblock-compiled batcher.
+BACKENDS = ("reference", "fast", "compiled")
+DEFAULT_BACKEND = "fast"
+
 _MASK32 = 0xFFFFFFFF
 
 
@@ -66,6 +72,12 @@ def _div_trunc(a: int, b: int) -> int:
     operands beyond 2**53 stay exact)."""
     q = abs(a) // abs(b)
     return -q if (a < 0) != (b < 0) else q
+
+
+def _div32(a: int, b: int) -> int:
+    """``div``: truncating 32-bit division.  The single overflow case,
+    INT_MIN / -1, wraps back to INT_MIN as on real 32-bit hardware."""
+    return _to_signed32(_div_trunc(a, b))
 
 
 def _unsigned_lt(a: int, b: int) -> int:
@@ -116,10 +128,32 @@ class _BatchFault(Exception):
     batch executor prefixes the name when surfacing it."""
 
 
+_JIT_BLOCK_FAULT = None
+
+
+def _jit_block_fault():
+    """The jit backend's BlockFault class, imported lazily exactly once
+    (repro.vp.jit imports this module at top level, so the reverse import
+    must stay deferred -- and out of the per-batch hot path)."""
+    global _JIT_BLOCK_FAULT
+    if _JIT_BLOCK_FAULT is None:
+        from repro.vp.jit import BlockFault
+        _JIT_BLOCK_FAULT = BlockFault
+    return _JIT_BLOCK_FAULT
+
+
+# Register-file invariant: every register always holds the *canonical*
+# signed 32-bit image of its value (-2**31 .. 2**31-1).  Every writer
+# that can leave that range wraps (add/sub/mul/div, addi, li, loads);
+# writers that cannot (bitwise ops, compares, mov of a canonical source,
+# link writes) store raw.  slt and the blt/bge tests then compare the
+# signed-32 images by construction -- no masking needed at compare sites.
+# The wrap form ((x + 2**31) & 0xFFFFFFFF) - 2**31 is branchless and is
+# the same expression the compiled backend (repro.vp.jit) inlines.
 _BINOPS = {
-    "add": lambda a, b: a + b,
-    "sub": lambda a, b: a - b,
-    "mul": lambda a, b: a * b,
+    "add": lambda a, b: ((a + b + 0x8000_0000) & _MASK32) - 0x8000_0000,
+    "sub": lambda a, b: ((a - b + 0x8000_0000) & _MASK32) - 0x8000_0000,
+    "mul": lambda a, b: ((a * b + 0x8000_0000) & _MASK32) - 0x8000_0000,
     "and": lambda a, b: a & b,
     "or": lambda a, b: a | b,
     "xor": lambda a, b: a ^ b,
@@ -157,7 +191,7 @@ def _compile_handler(instr: Instr, pc: int):
             b = regs[rb]
             if b == 0:
                 raise _BatchFault(f"division by zero at pc={pc}")
-            value = _div_trunc(regs[ra], b)
+            value = _div32(regs[ra], b)
             if rd:
                 regs[rd] = value
             return nxt
@@ -178,10 +212,13 @@ def _compile_handler(instr: Instr, pc: int):
         rd, ra, imm = args
         if rd:
             return lambda regs, rd=rd, ra=ra, imm=imm, nxt=nxt: (
-                regs.__setitem__(rd, regs[ra] + imm), nxt)[1]
+                regs.__setitem__(
+                    rd, ((regs[ra] + imm + 0x8000_0000) & _MASK32)
+                    - 0x8000_0000), nxt)[1]
         return lambda regs, nxt=nxt: nxt
     if op == "li":
         rd, imm = args
+        imm = _to_signed32(imm)  # out-of-range immediates wrap at decode
         if rd:
             return lambda regs, rd=rd, imm=imm, nxt=nxt: (
                 regs.__setitem__(rd, imm), nxt)[1]
@@ -222,10 +259,13 @@ class DecodedProgram:
 
     Three parallel tables indexed by pc: per-instruction ``cycles``,
     whether the instruction is ``batchable`` (no observable interaction),
-    and the compiled ``handlers`` (``None`` at sync boundaries).
+    and the compiled ``handlers`` (``None`` at sync boundaries).  The
+    superblock cache of the compiled backend (:mod:`repro.vp.jit`) hangs
+    off the same object, so one decode invalidation drops both tiers.
     """
 
-    __slots__ = ("n", "cycles", "batchable", "handlers", "_source_list")
+    __slots__ = ("n", "cycles", "batchable", "handlers", "_source_list",
+                 "_superblocks")
 
     def __init__(self, program: AsmProgram) -> None:
         instrs = program.instructions
@@ -235,12 +275,29 @@ class DecodedProgram:
         self.handlers = [_compile_handler(instr, pc)
                          for pc, instr in enumerate(instrs)]
         self.batchable = [h is not None for h in self.handlers]
+        self._superblocks = None
 
     def matches(self, program: AsmProgram) -> bool:
         """Cheap identity check: same instruction list, same length.
         In-place edits that keep the length need :func:`invalidate_decode`."""
         return (program.instructions is self._source_list
                 and len(program.instructions) == self.n)
+
+    def superblocks(self):
+        """The lazily built superblock cache for the compiled backend.
+
+        Salted with :data:`repro.vp.jit.JIT_SALT` (a digest of the
+        compiler source, the farm's code-version-salt idiom): editing
+        the block compiler invalidates every cache built by the old
+        version, exactly like an in-place program edit invalidates the
+        decode itself.
+        """
+        from repro.vp import jit
+        cache = self._superblocks
+        if cache is None or cache.salt != jit.JIT_SALT:
+            cache = self._superblocks = jit.SuperBlockCache(
+                self._source_list, self.batchable)
+        return cache
 
 
 def decode_program(program: AsmProgram) -> DecodedProgram:
@@ -273,7 +330,8 @@ class Cpu:
 
     def __init__(self, sim: Simulator, bus: Bus, program: AsmProgram,
                  core_id: int = 0, irq_vector: Optional[int] = None,
-                 entry: int = 0, quantum: int = DEFAULT_QUANTUM) -> None:
+                 entry: int = 0, quantum: int = DEFAULT_QUANTUM,
+                 backend: str = DEFAULT_BACKEND) -> None:
         self.sim = sim
         self.bus = bus
         self.program = program
@@ -295,6 +353,16 @@ class Cpu:
         if quantum < 1:
             raise ValueError(f"quantum must be >= 1, got {quantum}")
         self.quantum = quantum
+        # Execution backend tier.  "reference" pins the event-exact
+        # per-instruction path regardless of quantum; "fast" is the
+        # decode-cache closure batcher; "compiled" retires whole
+        # superblocks per generated-function call (repro.vp.jit).  All
+        # three are bit-identical; the sync-boundary rules above apply
+        # unchanged to both batching tiers.
+        if backend not in BACKENDS:
+            raise ValueError(f"backend must be one of {sorted(BACKENDS)}, "
+                             f"got {backend!r}")
+        self.backend = backend
         # Fixed bus-arbitration rank.  Kernel wakeups tie-break on
         # (priority, seq); seq depends on *when* an event was scheduled,
         # which temporal decoupling changes (a batch schedules its wakeup
@@ -420,7 +488,8 @@ class Cpu:
                     yield Delay(stall)
             # Fast-path eligibility: no observable interaction may fall
             # inside a batch (module docstring lists the boundary rules).
-            elif (self.quantum > 1 and self._sync_requests == 0
+            elif (self.quantum > 1 and self.backend != "reference"
+                    and self._sync_requests == 0
                     and not self._post_instr_hooks
                     and not irq_window
                     and not self.sim.has_observers
@@ -428,6 +497,63 @@ class Cpu:
                 decoded = self._decoded
                 if decoded is None or not decoded.matches(program):
                     decoded = self._decoded = decode_program(program)
+                if decoded.batchable[self.pc] \
+                        and self.backend == "compiled":
+                    # Superblock tier: one generated-function call per
+                    # basic block, chained until the quantum budget is
+                    # spent or a sync boundary is reached.  The quantum
+                    # rounds up to block granularity -- legal because
+                    # blocks contain no observable interaction, so every
+                    # wakeup still lands on a reference-path cycle and
+                    # tied-time ordering is pinned by core priority.
+                    block_fault = _jit_block_fault()
+                    sblocks = decoded.superblocks()
+                    get_block = sblocks.get
+                    batchable = decoded.batchable
+                    regs = self.regs
+                    quantum = self.quantum
+                    pc = self.pc
+                    total = 0
+                    count = 0
+                    cost = 0
+                    fault = None
+                    while True:
+                        block = get_block(pc)
+                        try:
+                            if block.dynamic:
+                                # Loop superblock: retires whole
+                                # iterations until the remaining budget
+                                # is spent or the loop exits.
+                                pc, bcycles, bcount = block.fn(
+                                    regs, quantum - total)
+                                total += bcycles
+                                count += bcount
+                            else:
+                                pc = block.fn(regs)
+                                total += block.cycles
+                                count += block.count
+                        except block_fault as error:
+                            total += error.cycles
+                            count += error.count
+                            cost = error.cost
+                            pc = error.pc
+                            fault = RuntimeError(
+                                f"{self.name}: {error.detail}")
+                            break
+                        cost = block.last_cost
+                        if (total >= quantum or not 0 <= pc < n
+                                or not batchable[pc]):
+                            break
+                    if total > cost:
+                        yield Delay(total - cost)
+                    yield Delay(cost)
+                    self.cycle_count += total
+                    self.instr_count += count
+                    self.pc = pc
+                    self.pc_signal.write(pc)
+                    if fault is not None:
+                        raise fault
+                    continue
                 if decoded.batchable[self.pc]:
                     # Execute a quantum-bounded run of local instructions
                     # in place, then re-enter the kernel exactly once.
@@ -504,16 +630,16 @@ class Cpu:
             rd, ra, rb = args
             a, b = self._read_reg(ra), self._read_reg(rb)
             if op == "add":
-                value = a + b
+                value = _to_signed32(a + b)
             elif op == "sub":
-                value = a - b
+                value = _to_signed32(a - b)
             elif op == "mul":
-                value = a * b
+                value = _to_signed32(a * b)
             elif op == "div":
                 if b == 0:
                     raise RuntimeError(f"{self.name}: division by zero "
                                        f"at pc={self.pc}")
-                value = _div_trunc(a, b)
+                value = _div32(a, b)
             elif op == "and":
                 value = a & b
             elif op == "or":
@@ -533,17 +659,18 @@ class Cpu:
             self._write_reg(rd, value)
         elif op == "addi":
             rd, ra, imm = args
-            self._write_reg(rd, self._read_reg(ra) + imm)
+            self._write_reg(rd, _to_signed32(self._read_reg(ra) + imm))
         elif op == "li":
             rd, imm = args
-            self._write_reg(rd, imm)
+            self._write_reg(rd, _to_signed32(imm))
         elif op == "mov":
             rd, ra = args
             self._write_reg(rd, self._read_reg(ra))
         elif op == "lw":
             rd, imm, base = args
             address = self._read_reg(base) + imm
-            self._write_reg(rd, self.bus.read(address, master=self.name))
+            self._write_reg(rd, _to_signed32(
+                self.bus.read(address, master=self.name)))
         elif op == "sw":
             rs, imm, base = args
             address = self._read_reg(base) + imm
@@ -553,7 +680,7 @@ class Cpu:
             address = self._read_reg(base) + imm
             old = self.bus.read(address, master=self.name)
             self.bus.write(address, self._read_reg(rd), master=self.name)
-            self._write_reg(rd, old)
+            self._write_reg(rd, _to_signed32(old))
         elif op in ("beq", "bne", "blt", "bge"):
             ra, rb, target = args
             a, b = self._read_reg(ra), self._read_reg(rb)
@@ -592,5 +719,6 @@ class Cpu:
         self.pc = next_pc
 
 
-__all__ = ["CoreState", "Cpu", "CYCLES", "DEFAULT_QUANTUM", "DecodedProgram",
-           "decode_program", "invalidate_decode"]
+__all__ = ["BACKENDS", "CoreState", "Cpu", "CYCLES", "DEFAULT_BACKEND",
+           "DEFAULT_QUANTUM", "DecodedProgram", "decode_program",
+           "invalidate_decode"]

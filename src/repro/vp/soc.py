@@ -22,7 +22,7 @@ from typing import Dict, List, Optional, Union
 from repro.desim import Signal, Simulator
 from repro.vp.bus import Bus, Ram
 from repro.vp.isa import AsmProgram, assemble
-from repro.vp.iss import Cpu, DEFAULT_QUANTUM
+from repro.vp.iss import Cpu, DEFAULT_BACKEND, DEFAULT_QUANTUM
 from repro.vp.peripherals.dma import DmaDevice
 from repro.vp.peripherals.intc import InterruptController
 from repro.vp.peripherals.mailbox import MailboxBank, MailboxPort
@@ -57,6 +57,12 @@ class SoCConfig:
     # the historical per-instruction execution; debuggers and observers
     # force the same per-instruction behavior regardless of this value.
     quantum: int = DEFAULT_QUANTUM
+    # Execution backend tier for every core: "reference" pins the
+    # event-exact per-instruction path (the oracle), "fast" batches via
+    # pre-decoded closures, "compiled" retires whole superblocks per
+    # generated-Python call (repro.vp.jit).  All tiers are bit-identical;
+    # "compiled" rounds the quantum up to superblock granularity.
+    backend: str = DEFAULT_BACKEND
 
 
 class SoC:
@@ -108,7 +114,8 @@ class SoC:
                 else assemble(source)
             cpu = Cpu(self.sim, self.bus, program, core_id=core_id,
                       irq_vector=config.irq_vector,
-                      quantum=config.quantum)
+                      quantum=config.quantum,
+                      backend=config.backend)
             self.cores.append(cpu)
             intc = InterruptController(self.sim, cpu.irq, f"intc{core_id}")
             self.intcs.append(intc)

@@ -1,12 +1,16 @@
 """Differential tests: the mini-C interpreter vs the ISS on the operators
 where host-Python semantics diverge from 32-bit C -- shifts on negative
-and overflowing operands, truncating division, modulo sign.
+and overflowing operands, truncating division, modulo sign, and
+arithmetic that overflows the 32-bit word.
 
 Both execution paths model the same 32-bit target, so for every (op, a, b)
 the interpreted C expression and the assembled firmware must agree bit
-for bit.  Any divergence here is exactly the class of bug that makes a
-program "work in simulation, fail on hardware" (or vice versa).
+for bit -- on every ISS backend (reference, fast, compiled).  Any
+divergence here is exactly the class of bug that makes a program "work
+in simulation, fail on hardware" (or vice versa).
 """
+
+import random
 
 import pytest
 
@@ -15,13 +19,22 @@ from repro.vp import SoC, SoCConfig
 
 RESULT_ADDR = 200
 
+# (backend, quantum) legs every ISS-side check runs under.
+BACKEND_RUNS = [("reference", 1), ("fast", 64), ("compiled", 64)]
+
+
+def _wrap32(value: int) -> int:
+    """The independent 32-bit two's-complement model both paths target."""
+    return ((value + 2 ** 31) % 2 ** 32) - 2 ** 31
+
 
 def interp_binop(op: str, a: int, b: int) -> int:
     source = f"int main(int a, int b) {{ return a {op} b; }}"
     return run_program(parse(source), args=[a, b]).return_value
 
 
-def iss_binop(op_mnemonic: str, a: int, b: int) -> int:
+def iss_binop(op_mnemonic: str, a: int, b: int, backend: str = "fast",
+              quantum: int = 64) -> int:
     """Run one reg-reg ALU op on the ISS; operands are materialized with
     li (the assembler accepts negative immediates)."""
     asm = f"""
@@ -32,7 +45,8 @@ def iss_binop(op_mnemonic: str, a: int, b: int) -> int:
         sw r3, 0(r4)
         halt
     """
-    soc = SoC(SoCConfig(n_cores=1), {0: asm})
+    soc = SoC(SoCConfig(n_cores=1, backend=backend, quantum=quantum),
+              {0: asm})
     soc.run()
     return soc.mem(RESULT_ADDR)
 
@@ -98,3 +112,76 @@ class TestDivModSemantics:
 
     def test_int_modulo_still_works(self):
         assert interp_binop("%", 17, 5) == 2
+
+
+# Operand pairs that overflow the 32-bit word: the sign-bit edge, sums
+# past INT_MAX, products past 2**32, and negative products.
+OVERFLOW_CASES = [
+    ("+", "add", 2 ** 31 - 1, 1),          # INT_MAX + 1 -> INT_MIN
+    ("+", "add", 2 ** 31 - 1, 2 ** 31 - 1),
+    ("-", "sub", -(2 ** 31), 1),           # INT_MIN - 1 -> INT_MAX
+    ("-", "sub", 0, -(2 ** 31)),           # -INT_MIN has no 32-bit home
+    ("*", "mul", 65536, 65536),            # 2**32 exactly -> 0
+    ("*", "mul", 100000, 100000),          # 10**10, far past 2**32
+    ("*", "mul", -100000, 100000),         # negative overflow
+    ("*", "mul", -46341, 46341),           # just past -2**31
+    ("*", "mul", 2 ** 31 - 1, -1),
+    ("*", "mul", -(2 ** 31), -1),          # the classic UB corner
+]
+
+
+class TestOverflowWrapDifferential:
+    @pytest.mark.parametrize("c_op,mnemonic,a,b", OVERFLOW_CASES)
+    def test_overflow_wraps_identically_everywhere(self, c_op, mnemonic,
+                                                   a, b):
+        # The independent model, the C interpreter, and every ISS backend
+        # must all land on the same signed-32 image.
+        import operator
+        expected = _wrap32(
+            {"+": operator.add, "-": operator.sub,
+             "*": operator.mul}[c_op](a, b))
+        assert -(2 ** 31) <= expected < 2 ** 31
+        assert interp_binop(c_op, a, b) == expected
+        for backend, quantum in BACKEND_RUNS:
+            assert iss_binop(mnemonic, a, b, backend, quantum) == expected, \
+                f"backend {backend!r}"
+
+
+class TestRandomChainSweep:
+    """Seeded fuzz down payment: random +/-/* chains over word-scale
+    constants, checked interp vs every ISS backend vs the wrap model."""
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_arith_chain_agrees_on_all_paths(self, seed):
+        rng = random.Random(0xC1A0 + seed)
+        consts = [rng.randint(-(2 ** 31), 2 ** 31 - 1) for _ in range(7)]
+        ops = [rng.choice("+-*") for _ in range(6)]
+
+        # Left-folded C expression...
+        expr = str(consts[0])
+        for op, const in zip(ops, consts[1:]):
+            expr = f"({expr} {op} ({const}))"
+        c_value = run_program(
+            parse(f"int main() {{ return {expr}; }}")).return_value
+
+        # ...the independent wrap model...
+        import operator
+        table = {"+": operator.add, "-": operator.sub, "*": operator.mul}
+        model = consts[0]
+        for op, const in zip(ops, consts[1:]):
+            model = _wrap32(table[op](model, const))
+        assert c_value == model
+
+        # ...and the same chain as firmware, on every backend.
+        mnemonic = {"+": "add", "-": "sub", "*": "mul"}
+        lines = [f"li r1, {consts[0]}"]
+        for op, const in zip(ops, consts[1:]):
+            lines.append(f"li r2, {const}")
+            lines.append(f"{mnemonic[op]} r1, r1, r2")
+        lines += [f"li r4, {RESULT_ADDR}", "sw r1, 0(r4)", "halt"]
+        asm = "\n".join(lines)
+        for backend, quantum in BACKEND_RUNS:
+            soc = SoC(SoCConfig(n_cores=1, backend=backend,
+                                quantum=quantum), {0: asm})
+            soc.run()
+            assert soc.mem(RESULT_ADDR) == model, f"backend {backend!r}"

@@ -1,17 +1,23 @@
-"""Differential tests: the temporally-decoupled ISS fast path must be
-cycle-exact against the ``quantum=1`` reference path.
+"""Differential tests: every batching ISS backend must be cycle-exact
+against the ``quantum=1`` reference path.
 
-Every scenario runs the same firmware twice -- once with batching disabled
-(``quantum=1``, the historical one-event-per-instruction behavior) and once
-with the default quantum -- and asserts identical final ``CoreState``,
-``cycle_count``, ``instr_count``, final simulation time, RAM image, and the
-exact bus access *sequence* (order included).  Scenarios cover randomized
-straight-line/branchy/loopy programs, loads/stores, multi-core races on
-shared memory, timer interrupts, and active stall hooks.
+Every scenario runs the same firmware once per backend -- the reference
+(``quantum=1``, the historical one-event-per-instruction behavior), the
+closure-dispatch fast path and the superblock-compiled backend -- and
+asserts identical final ``CoreState``, ``cycle_count``, ``instr_count``,
+final simulation time, RAM image, and the exact bus access *sequence*
+(order included).  Scenarios cover randomized straight-line/branchy/
+loopy/overflowing programs, loads/stores, multi-core races on shared
+memory, timer interrupts, and active stall hooks.
+
+Set ``REPRO_ISS_BACKEND=fast`` or ``=compiled`` to restrict the batching
+side of the comparison to one backend (the CI equivalence matrix);
+``=reference`` degrades the suite to a reference-path smoke run.
 """
 
 from __future__ import annotations
 
+import os
 import random
 
 from repro.vp import HardwareProbe, SoC, SoCConfig, assemble
@@ -19,15 +25,24 @@ from repro.vp.soc import SEM_BASE
 
 FAST_QUANTUM = 64
 
+# The batching backends under test, optionally filtered by the CI matrix.
+_FILTER = os.environ.get("REPRO_ISS_BACKEND")
+BATCHING_BACKENDS = [name for name in ("fast", "compiled")
+                     if _FILTER in (None, "", name)]
+
+# Fields a batching run must reproduce bit-for-bit.
+_COMPARED = ("states", "cycles", "instrs", "pc_signals", "now", "ram",
+             "accesses")
+
 
 # ---------------------------------------------------------------------------
 # harness
 # ---------------------------------------------------------------------------
 
 def _run_one(programs, n_cores, quantum, irq_vector=None, setup=None,
-             probe_core=None, max_events=500_000):
+             probe_core=None, max_events=500_000, backend="fast"):
     config = SoCConfig(n_cores=n_cores, quantum=quantum,
-                       irq_vector=irq_vector)
+                       irq_vector=irq_vector, backend=backend)
     soc = SoC(config, dict(programs))
     accesses = []
     soc.bus.observe(
@@ -52,16 +67,15 @@ def _run_one(programs, n_cores, quantum, irq_vector=None, setup=None,
 
 def assert_equivalent(programs, n_cores=1, irq_vector=None, setup=None,
                       probe_core=None):
-    ref = _run_one(programs, n_cores, 1, irq_vector, setup, probe_core)
-    fast = _run_one(programs, n_cores, FAST_QUANTUM, irq_vector, setup,
-                    probe_core)
-    assert fast["states"] == ref["states"]
-    assert fast["cycles"] == ref["cycles"]
-    assert fast["instrs"] == ref["instrs"]
-    assert fast["pc_signals"] == ref["pc_signals"]
-    assert fast["now"] == ref["now"]
-    assert fast["ram"] == ref["ram"]
-    assert fast["accesses"] == ref["accesses"]
+    ref = _run_one(programs, n_cores, 1, irq_vector, setup, probe_core,
+                   backend="reference")
+    fast = ref
+    for backend in BATCHING_BACKENDS:
+        fast = _run_one(programs, n_cores, FAST_QUANTUM, irq_vector, setup,
+                        probe_core, backend=backend)
+        for field in _COMPARED:
+            assert fast[field] == ref[field], \
+                f"backend {backend!r} diverged on {field}"
     return ref, fast
 
 
@@ -96,10 +110,20 @@ def random_program(rng: random.Random, n_segments: int = 8) -> str:
     for _ in range(n_segments):
         uid += 1
         kind = rng.choice(["alu", "alu", "div", "shift", "mem", "loop",
-                           "fwd", "call"])
+                           "fwd", "call", "ovf", "ovf"])
         if kind == "alu":
             for _ in range(rng.randint(2, 8)):
                 lines.append(alu_line())
+        elif kind == "ovf":
+            # Overflow stress: seed word-edge constants, then chain the
+            # wrapping ops so intermediate values cross +/-2**31 and
+            # multiplication products blow far past 2**32.
+            edge = rng.choice([2**31 - 1, -2**31, 2**31 - 17,
+                               -(2**31 - 5), 0x7FFF0000, 123456789])
+            lines.append(f"    li {reg()}, {edge}")
+            for _ in range(rng.randint(2, 6)):
+                op = rng.choice(["add", "sub", "mul", "mul"])
+                lines.append(f"    {op} {reg()}, {reg()}, {reg()}")
         elif kind == "div":
             lines.append(f"    div {reg()}, {reg()}, r10")
         elif kind == "shift":

@@ -168,23 +168,36 @@ class TestIss:
         assert soc.mem(0) == -3
         assert soc.mem(1) == -3
 
-    def test_div_is_exact_beyond_float_precision(self):
+    def test_div_helper_is_exact_beyond_float_precision(self):
         # Regression: int(a / b) detours through a float, losing the low
-        # bits of operands beyond 2**53.  2**60 + 1 is such an operand.
+        # bits of operands beyond 2**53.  Registers are now truly 32 bits
+        # wide, so such operands can no longer reach an architectural
+        # div -- the guard lives on at the helper level.
+        from repro.vp.iss import _div_trunc
+        a = 2 ** 60 + 1
+        assert _div_trunc(a, 3) == a // 3
+        assert _div_trunc(-a, 3) == -(a // 3)
+        assert _div_trunc(a, 3) != int(a / 3)  # the float detour is wrong
+
+    def test_li_out_of_range_immediate_wraps_to_signed_32(self):
+        # A register is 32 bits: an immediate past the word wraps to its
+        # signed two's-complement image instead of growing unbounded.
         a = 2 ** 60 + 1
         soc = run_core(f"""
         li r1, {a}
-        li r2, 3
-        div r3, r1, r2
-        li r4, {-a}
-        div r5, r4, r2
-        sw r3, 0(r0)
-        sw r5, 1(r0)
+        li r2, {-a}
+        li r3, {2 ** 31}
+        li r4, 0x80000000
+        sw r1, 0(r0)
+        sw r2, 1(r0)
+        sw r3, 2(r0)
+        sw r4, 3(r0)
         halt
         """)
-        assert soc.mem(0) == a // 3
-        assert soc.mem(1) == -(a // 3)
-        assert soc.mem(0) != int(a / 3)  # the float detour is wrong here
+        assert soc.mem(0) == 1           # (2**60 + 1) mod 2**32
+        assert soc.mem(1) == -1
+        assert soc.mem(2) == -(2 ** 31)  # INT_MIN, not +2**31
+        assert soc.mem(3) == -(2 ** 31)
 
     def test_loop_sum(self):
         soc = run_core("""
