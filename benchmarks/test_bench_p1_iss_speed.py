@@ -97,9 +97,10 @@ def run_backend(backend, quantum, n_cores=4):
 def test_bench_p1_backend_sweep(benchmark, show, record_bench):
     """The backend tier ladder on a homogeneous manycore config: the
     superblock-compiled backend must buy >= 2x over the quantum=64
-    closure-dispatch fast path, bit-identically."""
+    closure-dispatch fast path, and the lane-vectorized backend >= 1.5x
+    over compiled, all bit-identically."""
     legs = [("reference", 1), ("fast", DEFAULT_QUANTUM),
-            ("compiled", DEFAULT_QUANTUM)]
+            ("compiled", DEFAULT_QUANTUM), ("vector", DEFAULT_QUANTUM)]
 
     def measure():
         # Best of two rounds per leg: one-shot timings of the fastest
@@ -114,7 +115,9 @@ def test_bench_p1_backend_sweep(benchmark, show, record_bench):
     ref = results["reference"]
     fast = results["fast"]
     compiled = results["compiled"]
+    vector = results["vector"]
     jit_speedup = compiled["instr_per_sec"] / fast["instr_per_sec"]
+    lane_speedup = vector["instr_per_sec"] / compiled["instr_per_sec"]
     rows = [[backend, f"{r['instr_per_sec']:,.0f}",
              f"{r['instr_per_sec'] / ref['instr_per_sec']:.1f}x",
              f"{r['events']:,}"]
@@ -123,16 +126,61 @@ def test_bench_p1_backend_sweep(benchmark, show, record_bench):
          ["backend", "instr/sec", "vs reference", "kernel events"])
     record_bench(
         compiled_over_fast=jit_speedup,
+        vector_over_compiled=lane_speedup,
         **{f"instr_per_sec_{backend}": r["instr_per_sec"]
            for backend, r in results.items()})
 
-    # Claim shape: superblock compilation doubles the fast path (the
+    # Claim shape: superblock compilation doubles the fast path, and
+    # lane lockstep buys another 1.5x on the homogeneous config (the
     # recorded numbers are the measurement either way)...
     assert jit_speedup >= 2.0
+    assert lane_speedup >= 1.5
     # ...without perturbing a single architectural bit, on any core.
-    for r in (fast, compiled):
+    for r in (fast, compiled, vector):
         assert r["states"] == ref["states"]
         assert r["now"] == ref["now"]
+    # The vector tier wins by sharing executions AND collapsing kernel
+    # events (one per consumed batch instead of two).
+    assert vector["events"] < compiled["events"]
+
+
+def test_bench_p1_lane_scaling(benchmark, show, record_bench):
+    """Lane-count scaling: the vector backend's edge over compiled must
+    grow (or at worst hold) as the homogeneous config widens, because
+    each extra lane adds only a state copy, not a chain execution."""
+    widths = [4, 8, 16]
+
+    def sweep():
+        out = {}
+        for n in widths:
+            legs = {}
+            for backend in ("compiled", "vector"):
+                runs = [run_backend(backend, DEFAULT_QUANTUM, n_cores=n)
+                        for _ in range(2)]
+                legs[backend] = max(runs,
+                                    key=lambda r: r["instr_per_sec"])
+            assert legs["vector"]["states"] == legs["compiled"]["states"]
+            assert legs["vector"]["now"] == legs["compiled"]["now"]
+            out[n] = legs
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    curve = {n: legs["vector"]["instr_per_sec"]
+             / legs["compiled"]["instr_per_sec"]
+             for n, legs in results.items()}
+    rows = [[str(n),
+             f"{legs['compiled']['instr_per_sec']:,.0f}",
+             f"{legs['vector']['instr_per_sec']:,.0f}",
+             f"{curve[n]:.2f}x"]
+            for n, legs in results.items()]
+    show("P1d: lane-count scaling (vector vs compiled)", rows,
+         ["cores", "compiled instr/s", "vector instr/s", "vector edge"])
+    record_bench(**{f"vector_over_compiled_{n}_cores": curve[n]
+                    for n in widths})
+
+    assert curve[4] >= 1.5
+    # Widening the group must not erode the edge (20% noise allowance).
+    assert curve[16] >= curve[4] * 0.8
 
 
 def test_bench_p1_quantum_sweep(benchmark, show):

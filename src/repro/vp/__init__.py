@@ -19,11 +19,16 @@ This package provides the full stack:
   running (the source of Heisenbugs);
 - :mod:`repro.vp.script` -- the scriptable debug framework: system-level
   software assertions without changing the software (TCL stand-in);
-- :mod:`repro.vp.trace` -- hardware/software tracing.
+- :mod:`repro.vp.trace` -- hardware/software tracing;
+- :mod:`repro.vp.jit` -- the superblock-compiled execution tier
+  (``backend="compiled"``);
+- :mod:`repro.vp.lanes` -- lane-lockstep execution of homogeneous
+  many-core configs (``backend="vector"``).
 """
 
 from repro.vp.isa import AsmError, AsmProgram, assemble
 from repro.vp.iss import CoreState, Cpu
+from repro.vp.lanes import LaneGroup
 from repro.vp.bus import Bus, BusError
 from repro.vp.soc import Instrumentation, SoC, SoCConfig
 from repro.vp.debugger import Breakpoint, Debugger, Watchpoint
@@ -34,7 +39,7 @@ from repro.vp.trace import TraceEvent, Tracer
 __all__ = [
     "AsmError", "AsmProgram", "Breakpoint", "Bus", "BusError", "CoreState",
     "Cpu", "Debugger", "DebugScriptEngine", "HardwareProbe",
-    "Instrumentation", "SoC",
+    "Instrumentation", "LaneGroup", "SoC",
     "SoCConfig", "ScriptError", "TraceEvent", "Tracer", "Watchpoint",
     "assemble",
 ]

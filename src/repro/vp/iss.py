@@ -58,10 +58,13 @@ CYCLES = {"mul": 3, "div": 3, "lw": 2, "sw": 2, "swap": 2}
 DEFAULT_CYCLES = 1
 DEFAULT_QUANTUM = 64
 
-# Execution backend tiers (see Cpu.__init__ and repro.vp.jit):
-# "reference" is the event-exact per-instruction oracle, "fast" the
-# closure-dispatch batcher, "compiled" the superblock-compiled batcher.
-BACKENDS = ("reference", "fast", "compiled")
+# Execution backend tiers (see Cpu.__init__, repro.vp.jit and
+# repro.vp.lanes): "reference" is the event-exact per-instruction
+# oracle, "fast" the closure-dispatch batcher, "compiled" the
+# superblock-compiled batcher, "vector" the lane-lockstep tier that
+# retires superblock batches for all convergent homogeneous cores in
+# one step (degrading to "compiled" for cores with no lane group).
+BACKENDS = ("reference", "fast", "compiled", "vector")
 DEFAULT_BACKEND = "fast"
 
 _MASK32 = 0xFFFFFFFF
@@ -265,7 +268,7 @@ class DecodedProgram:
     """
 
     __slots__ = ("n", "cycles", "batchable", "handlers", "_source_list",
-                 "_superblocks")
+                 "_superblocks", "_laneblocks")
 
     def __init__(self, program: AsmProgram) -> None:
         instrs = program.instructions
@@ -276,6 +279,7 @@ class DecodedProgram:
                          for pc, instr in enumerate(instrs)]
         self.batchable = [h is not None for h in self.handlers]
         self._superblocks = None
+        self._laneblocks = None
 
     def matches(self, program: AsmProgram) -> bool:
         """Cheap identity check: same instruction list, same length.
@@ -299,6 +303,16 @@ class DecodedProgram:
                 self._source_list, self.batchable)
         return cache
 
+    def lane_superblocks(self):
+        """The lane-vectorized superblock cache (the vector backend's
+        tier), lazily built and salted exactly like :meth:`superblocks`."""
+        from repro.vp import jit
+        cache = self._laneblocks
+        if cache is None or cache.salt != jit.JIT_SALT:
+            cache = self._laneblocks = jit.LaneBlockCache(
+                self._source_list, self.batchable)
+        return cache
+
 
 def decode_program(program: AsmProgram) -> DecodedProgram:
     """Fetch (or build and cache) the decoded form of ``program``.
@@ -316,8 +330,23 @@ def decode_program(program: AsmProgram) -> DecodedProgram:
 
 def invalidate_decode(program: AsmProgram) -> None:
     """Drop the cached decode (required after in-place instruction edits
-    that keep ``len(program.instructions)`` unchanged)."""
-    if getattr(program, "_iss_decoded", None) is not None:
+    that keep ``len(program.instructions)`` unchanged).
+
+    The stale decode is *poisoned*, not merely unlinked: cores cache a
+    reference in ``Cpu._decoded`` and revalidate it with
+    :meth:`DecodedProgram.matches`, which compares against the live
+    instruction list -- an in-place edit keeps that list identical, so
+    an unlinked-but-unpoisoned decode would keep matching and the core
+    would keep executing stale handlers and stale compiled superblocks
+    (scalar and lane caches both hang off the decode).  Clearing
+    ``_source_list`` makes every future ``matches()`` fail, forcing a
+    re-decode, and drops both compiled-tier caches with it.
+    """
+    decoded = getattr(program, "_iss_decoded", None)
+    if decoded is not None:
+        decoded._source_list = None
+        decoded._superblocks = None
+        decoded._laneblocks = None
         program._iss_decoded = None
 
 
@@ -391,6 +420,16 @@ class Cpu:
         # per-instruction regardless of `quantum` (debugger contract).
         self._sync_requests = 0
         self._decoded: Optional[DecodedProgram] = None
+        # Lane-lockstep state (backend "vector"): the SoC wires cores
+        # sharing one program into a repro.vp.lanes.LaneGroup, which
+        # assigns _lane_group/_lane_id.  _lane_pending holds a batch a
+        # group leader speculatively retired for this lane, consumed --
+        # after revalidation -- at the next wake-up.  Cores without a
+        # group (heterogeneous programs, n_cores=1) degrade to the
+        # compiled tier.
+        self._lane_group = None
+        self._lane_id = -1
+        self._lane_pending = None
         self.process = None
 
     # ------------------------------------------------------------------
@@ -463,7 +502,53 @@ class Cpu:
 
     # ------------------------------------------------------------------
     def _run(self):
+        lane_group = self._lane_group
         while not self.halted:
+            if lane_group is not None:
+                pending = self._lane_pending
+                if pending is not None:
+                    self._lane_pending = None
+                    # Revalidate the speculation: the batch was computed
+                    # from this lane's parked state by a group leader;
+                    # consume it only if no divergence condition appeared
+                    # since (the same guard the leader checked).
+                    if (pending.decoded is self._decoded
+                            and pending.decoded.matches(self.program)
+                            and self.quantum > 1
+                            and self._sync_requests == 0
+                            and not self._post_instr_hooks
+                            and self.stall_hook is None
+                            and not (self.interrupts_enabled
+                                     and not self.in_isr
+                                     and self.irq_vector is not None)
+                            and not self.sim.has_observers
+                            and not self.pc_signal.observed):
+                        self.pc = pending.pc
+                        lane_group.park(self)
+                        total = pending.total
+                        # One kernel event per consumed batch (not the
+                        # scalar tiers' two): the wakeup still lands at
+                        # the exact reference-path cycle, and tied-time
+                        # ordering there is pinned by the per-core kernel
+                        # priority, not by the intermediate wake -- which
+                        # runs no code and observes nothing.
+                        yield Delay(total)
+                        self.cycle_count += total
+                        self.instr_count += pending.count
+                        self.pc_signal.write(self.pc)
+                        if pending.fault is not None:
+                            raise RuntimeError(
+                                f"{self.name}: {pending.fault}")
+                        continue
+                    # Divergence appeared mid-speculation: restore the
+                    # pre-batch register image and re-execute this batch
+                    # on the event-exact path from the parked state.
+                    self.regs[:] = pending.backup
+                else:
+                    # Any non-vector iteration invalidates the parked
+                    # claim -- a leader must never read a lane that is
+                    # about to execute outside the lockstep protocol.
+                    lane_group.unpark(self)
             # Interrupt entry check (level-sensitive).
             irq_window = (self.interrupts_enabled and not self.in_isr
                           and self.irq_vector is not None)
@@ -497,8 +582,31 @@ class Cpu:
                 decoded = self._decoded
                 if decoded is None or not decoded.matches(program):
                     decoded = self._decoded = decode_program(program)
+                if decoded.batchable[self.pc] and lane_group is not None \
+                        and self.backend == "vector":
+                    # Lane-lockstep tier: one group step retires this
+                    # batch for every convergent lane (twins by state
+                    # copy, distinct lanes through the lane-compiled
+                    # superblocks); divergent lanes were simply not
+                    # collected and rejoin at the next common pc.  The
+                    # early pc commit (before the delays) publishes the
+                    # parked state a later-waking leader reads.
+                    result = lane_group.step(self, decoded)
+                    self.pc = result.pc
+                    lane_group.park(self)
+                    # Single kernel event per batch (see the consume path
+                    # above): the end-of-batch wakeup is a reference-path
+                    # cycle and per-core priority pins tied-time order.
+                    yield Delay(result.total)
+                    total = result.total
+                    self.cycle_count += total
+                    self.instr_count += result.count
+                    self.pc_signal.write(self.pc)
+                    if result.fault is not None:
+                        raise RuntimeError(f"{self.name}: {result.fault}")
+                    continue
                 if decoded.batchable[self.pc] \
-                        and self.backend == "compiled":
+                        and self.backend in ("compiled", "vector"):
                     # Superblock tier: one generated-function call per
                     # basic block, chained until the quantum budget is
                     # spent or a sync boundary is reached.  The quantum

@@ -463,6 +463,70 @@ def compile_superblock(instrs: Sequence[Instr], batchable: Sequence[bool],
                       start, end, dynamic, source)
 
 
+# ---------------------------------------------------------------------------
+# lane-vectorized blocks (``SoCConfig.backend = "vector"``)
+# ---------------------------------------------------------------------------
+
+def _lane_wrap_source(scalar_source: str, dynamic: bool) -> str:
+    """Rewrap a scalar superblock's generated source as a lane-loop body.
+
+    The scalar generator emits one function per block whose only exits
+    are tail ``return`` statements (plus mid-body ``raise BlockFault``
+    fault sites).  The lane form runs the identical body once per lane
+    inside ``for regs in _lanes:``, collecting each lane's exit value --
+    so every emission rule (lazy canonicalization, fault charges, the
+    writeback discipline) is inherited verbatim rather than duplicated:
+
+    - static blocks: ``return pc``        -> ``_out.append((pc))`` + the
+      lane loop's ``continue``;
+    - dynamic blocks: ``return pc, _t, _n`` -> append + ``break`` out of
+      the per-lane ``while`` (nothing follows it, so the lane loop
+      advances);
+    - fault ``raise`` sites are kept as-is: the caller restores every
+      lane from its backup and falls back to the scalar path, which
+      re-raises with the exact reference-cycle charge.
+    """
+    lines = scalar_source.splitlines()
+    header = ("def _vb(_lanes, budget):" if dynamic
+              else "def _vb(_lanes):")
+    out = [header, "    _out = []", "    for regs in _lanes:"]
+    leave = "break" if dynamic else "continue"
+    for line in lines[1:]:  # skip the scalar ``def _sb(...)``
+        stripped = line.strip()
+        if stripped.startswith("return "):
+            indent = line[:len(line) - len(line.lstrip())]
+            out.append(f"    {indent}_out.append(("
+                       f"{stripped[len('return '):]}))")
+            out.append(f"    {indent}{leave}")
+        else:
+            out.append(f"    {line}")
+    out.append("    return _out")
+    return "\n".join(out) + "\n"
+
+
+def compile_lane_superblock(instrs: Sequence[Instr],
+                            batchable: Sequence[bool],
+                            start: int) -> Optional[SuperBlock]:
+    """Compile the lane-vectorized form of the superblock at ``start``.
+
+    Static blocks: ``fn(lanes) -> [next_pc per lane]``.  Dynamic (self-
+    loop) blocks: ``fn(lanes, budget) -> [(next_pc, cycles, count) per
+    lane]`` -- each lane retires whole iterations against the *same*
+    budget, so lanes that exit the loop earlier (data divergence) come
+    back with smaller charges and the caller splits them off.
+    """
+    scalar = compile_superblock(instrs, batchable, start)
+    if scalar is None:
+        return None
+    source = _lane_wrap_source(scalar.source, scalar.dynamic)
+    namespace = {"_div32": _div32, "BlockFault": BlockFault}
+    exec(compile(source, f"<lane superblock pc={start}>", "exec"),  # noqa: S102
+         namespace)
+    return SuperBlock(namespace["_vb"], scalar.cycles, scalar.count,
+                      scalar.last_cost, start, scalar.end, scalar.dynamic,
+                      source)
+
+
 class SuperBlockCache:
     """Lazily compiled superblocks for one decoded program.
 
@@ -474,6 +538,8 @@ class SuperBlockCache:
     """
 
     __slots__ = ("_instrs", "_batchable", "blocks", "salt")
+
+    _compile = staticmethod(compile_superblock)
 
     def __init__(self, instrs: Sequence[Instr],
                  batchable: Sequence[bool]) -> None:
@@ -487,7 +553,7 @@ class SuperBlockCache:
         Callers guarantee ``batchable[pc]``."""
         block = self.blocks[pc]
         if block is None:
-            block = compile_superblock(self._instrs, self._batchable, pc)
+            block = self._compile(self._instrs, self._batchable, pc)
             if block is None:
                 raise ValueError(f"pc {pc} is a sync boundary, "
                                  f"not a superblock leader")
@@ -499,5 +565,17 @@ class SuperBlockCache:
         return sum(1 for block in self.blocks if block is not None)
 
 
-__all__ = ["BlockFault", "JIT_SALT", "MAX_BLOCK_INSTRS", "SuperBlock",
-           "SuperBlockCache", "compile_superblock"]
+class LaneBlockCache(SuperBlockCache):
+    """Superblock cache whose entries are lane-vectorized (the vector
+    backend's tier).  Same lazy/salted discipline as the scalar cache;
+    both hang off one :class:`~repro.vp.iss.DecodedProgram`, so one
+    decode invalidation drops all compiled tiers together."""
+
+    __slots__ = ()
+
+    _compile = staticmethod(compile_lane_superblock)
+
+
+__all__ = ["BlockFault", "JIT_SALT", "LaneBlockCache", "MAX_BLOCK_INSTRS",
+           "SuperBlock", "SuperBlockCache", "compile_lane_superblock",
+           "compile_superblock"]

@@ -23,6 +23,7 @@ from repro.desim import Signal, Simulator
 from repro.vp.bus import Bus, Ram
 from repro.vp.isa import AsmProgram, assemble
 from repro.vp.iss import Cpu, DEFAULT_BACKEND, DEFAULT_QUANTUM
+from repro.vp.lanes import LaneGroup
 from repro.vp.peripherals.dma import DmaDevice
 from repro.vp.peripherals.intc import InterruptController
 from repro.vp.peripherals.mailbox import MailboxBank, MailboxPort
@@ -60,8 +61,11 @@ class SoCConfig:
     # Execution backend tier for every core: "reference" pins the
     # event-exact per-instruction path (the oracle), "fast" batches via
     # pre-decoded closures, "compiled" retires whole superblocks per
-    # generated-Python call (repro.vp.jit).  All tiers are bit-identical;
-    # "compiled" rounds the quantum up to superblock granularity.
+    # generated-Python call (repro.vp.jit), "vector" steps homogeneous
+    # cores in lockstep -- one superblock batch per step for every
+    # convergent lane (repro.vp.lanes), splitting lanes to the scalar
+    # path on divergence.  All tiers are bit-identical; the batching
+    # tiers round the quantum up to superblock granularity.
     backend: str = DEFAULT_BACKEND
 
 
@@ -106,12 +110,22 @@ class SoC:
 
         self.cores: List[Cpu] = []
         self.intcs: List[InterruptController] = []
+        # Under the vector backend, cores can only form a lane group over
+        # a *shared* AsmProgram (one decode, one superblock cache), so
+        # each distinct source string is assembled exactly once.
+        assembled: Dict[str, AsmProgram] = {}
         for core_id in range(config.n_cores):
             source = programs.get(core_id)
             if source is None:
                 source = "halt\n"
-            program = source if isinstance(source, AsmProgram) \
-                else assemble(source)
+            if isinstance(source, AsmProgram):
+                program = source
+            elif config.backend == "vector":
+                program = assembled.get(source)
+                if program is None:
+                    program = assembled[source] = assemble(source)
+            else:
+                program = assemble(source)
             cpu = Cpu(self.sim, self.bus, program, core_id=core_id,
                       irq_vector=config.irq_vector,
                       quantum=config.quantum,
@@ -123,6 +137,17 @@ class SoC:
                             InterruptController.REG_COUNT, intc, intc.name)
             # Load the program's data section into RAM.
             self.ram.load(0, program.data)
+
+        # Lane groups: cores sharing one program execute in lockstep
+        # when the vector backend is selected (repro.vp.lanes).
+        self.lane_groups: List[LaneGroup] = []
+        if config.backend == "vector":
+            by_program: Dict[int, List[Cpu]] = {}
+            for cpu in self.cores:
+                by_program.setdefault(id(cpu.program), []).append(cpu)
+            for lanes in by_program.values():
+                if len(lanes) >= 2:
+                    self.lane_groups.append(LaneGroup(lanes, config.quantum))
 
         self._started = False
 
@@ -249,6 +274,17 @@ class SoC:
             handle.injector = self._resolve_injector(faults, sink,
                                                      metrics)
             handle.injector.attach_soc(self)
+
+        # Every attachment above is intrusive enough to force the
+        # event-exact per-instruction path (kernel observers, sync
+        # requests), silently overriding a requested batching backend --
+        # including vector -> scalar.  Record the downgrade so campaign
+        # drivers comparing throughput numbers can see it happened.
+        if (metrics is not None and self.config.quantum > 1
+                and self.config.backend != "reference"
+                and (obs_opts is not None or san_opts is not None
+                     or (faults is not None and faults is not False))):
+            metrics.counter("backend.downgrade").inc()
 
         return handle
 

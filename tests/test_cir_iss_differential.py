@@ -5,7 +5,7 @@ arithmetic that overflows the 32-bit word.
 
 Both execution paths model the same 32-bit target, so for every (op, a, b)
 the interpreted C expression and the assembled firmware must agree bit
-for bit -- on every ISS backend (reference, fast, compiled).  Any
+for bit -- on every ISS backend (reference, fast, compiled, vector).  Any
 divergence here is exactly the class of bug that makes a program "work
 in simulation, fail on hardware" (or vice versa).
 """
@@ -20,7 +20,8 @@ from repro.vp import SoC, SoCConfig
 RESULT_ADDR = 200
 
 # (backend, quantum) legs every ISS-side check runs under.
-BACKEND_RUNS = [("reference", 1), ("fast", 64), ("compiled", 64)]
+BACKEND_RUNS = [("reference", 1), ("fast", 64), ("compiled", 64),
+                ("vector", 64)]
 
 
 def _wrap32(value: int) -> int:

@@ -140,6 +140,51 @@ class TestInstrumentBundle:
         soc.run()  # platform still runs after release
 
 
+class TestBackendDowngrade:
+    """Attaching instrumentation forces the event-exact path, silently
+    overriding a requested batching backend; instrument() records that
+    as the ``backend.downgrade`` counter."""
+
+    def test_sanitizer_on_vector_soc_downgrades_to_scalar(self):
+        ref = SoC(SoCConfig(n_cores=2, ram_words=256, quantum=1,
+                            backend="reference"), {0: RACY, 1: RACY})
+        ref.run()
+        soc = SoC(SoCConfig(n_cores=2, ram_words=256, quantum=64,
+                            backend="vector"), {0: RACY, 1: RACY})
+        handle = soc.instrument(sanitizer=True)
+        soc.run()
+        assert handle.metrics.counter("backend.downgrade").value == 1
+        # The downgrade is real: no lockstep window ever retired, and
+        # the run is still bit-identical to the reference oracle.
+        assert soc.lane_groups[0].windows == 0
+        assert soc.lane_groups[0].solo_steps == 0
+        assert [c.state() for c in soc.cores] \
+            == [c.state() for c in ref.cores]
+        assert soc.sim.now == ref.sim.now
+
+    def test_obs_and_faults_also_count(self):
+        for kwargs in ({"obs": True}, {"faults": FaultPlan()},
+                       {"obs": True, "sanitizer": True,
+                        "faults": FaultPlan()}):
+            soc = make_soc()   # default backend "fast" batches
+            handle = soc.instrument(**kwargs)
+            assert handle.metrics.counter("backend.downgrade").value \
+                == 1, kwargs
+
+    def test_no_downgrade_without_batching_to_lose(self):
+        for backend, quantum in (("reference", 64), ("fast", 1)):
+            soc = SoC(SoCConfig(n_cores=1, ram_words=256, quantum=quantum,
+                                backend=backend), {0: FIRMWARE})
+            handle = soc.instrument(obs=True)
+            assert handle.metrics.counter("backend.downgrade").value \
+                == 0, backend
+
+    def test_nothing_attached_counts_nothing(self):
+        soc = make_soc()
+        handle = soc.instrument()
+        assert handle.metrics is None  # no registry even created
+
+
 class TestLegacyDelegates:
     def test_attach_observability_returns_tracer_and_probe(self):
         soc = make_soc()

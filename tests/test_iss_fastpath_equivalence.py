@@ -10,9 +10,9 @@ final simulation time, RAM image, and the exact bus access *sequence*
 loopy/overflowing programs, loads/stores, multi-core races on shared
 memory, timer interrupts, and active stall hooks.
 
-Set ``REPRO_ISS_BACKEND=fast`` or ``=compiled`` to restrict the batching
-side of the comparison to one backend (the CI equivalence matrix);
-``=reference`` degrades the suite to a reference-path smoke run.
+Set ``REPRO_ISS_BACKEND=fast``, ``=compiled`` or ``=vector`` to restrict
+the batching side of the comparison to one backend (the CI equivalence
+matrix); ``=reference`` degrades the suite to a reference-path smoke run.
 """
 
 from __future__ import annotations
@@ -27,7 +27,7 @@ FAST_QUANTUM = 64
 
 # The batching backends under test, optionally filtered by the CI matrix.
 _FILTER = os.environ.get("REPRO_ISS_BACKEND")
-BATCHING_BACKENDS = [name for name in ("fast", "compiled")
+BATCHING_BACKENDS = [name for name in ("fast", "compiled", "vector")
                      if _FILTER in (None, "", name)]
 
 # Fields a batching run must reproduce bit-for-bit.
@@ -178,6 +178,17 @@ class TestRandomizedDifferential:
             programs = {0: assemble(random_program(rng)),
                         1: assemble(random_program(rng))}
             assert_equivalent(programs, n_cores=2)
+
+    def test_homogeneous_random_programs_on_four_cores(self):
+        # The vector backend's home turf: every core runs the *same*
+        # AsmProgram instance, so the lanes group and retire superblock
+        # batches in lockstep -- yet the bus access sequence (a total
+        # order over all four masters) and every final state must stay
+        # bit-identical to quantum=1.
+        for seed in (2000, 2001, 2002):
+            rng = random.Random(seed)
+            asm = assemble(random_program(rng))
+            assert_equivalent({i: asm for i in range(4)}, n_cores=4)
 
     def test_random_programs_under_stall_hook(self):
         # An intrusive probe (stall hook + forced sync) must behave the
