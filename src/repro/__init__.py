@@ -14,6 +14,8 @@ substrate:
 - :mod:`repro.maps` -- the MAPS parallelization and mapping flow (section IV).
 - :mod:`repro.hopes` -- the HOPES/CIC retargetable programming flow (section V).
 - :mod:`repro.recoder` -- the designer-controlled Source Recoder (section VI).
+- :mod:`repro.snap` -- exact whole-SoC checkpoint/restore: time-travel
+  debugging and warm-started campaigns.
 - :mod:`repro.core` -- a unified design-flow API over all of the above.
 """
 
@@ -29,5 +31,6 @@ __all__ = [
     "maps",
     "hopes",
     "recoder",
+    "snap",
     "core",
 ]

@@ -19,6 +19,7 @@ or truncated entries read as misses, never as errors.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import tempfile
@@ -60,10 +61,13 @@ class ResultCache:
         """Atomically persist ``result`` (plus job metadata for humans
         spelunking the cache directory); returns the entry path."""
         path = self._path(key)
-        os.makedirs(os.path.dirname(path), exist_ok=True)
         payload = {"key": key, "result": result}
         if meta:
             payload["job"] = meta
+        return self._atomic_write(path, payload)
+
+    def _atomic_write(self, path: str, payload: Dict[str, Any]) -> str:
+        os.makedirs(os.path.dirname(path), exist_ok=True)
         data = canonical_json(payload)
         fd, tmp_path = tempfile.mkstemp(dir=os.path.dirname(path),
                                         suffix=".tmp")
@@ -80,10 +84,64 @@ class ResultCache:
         return path
 
     # ------------------------------------------------------------------
+    # campaign manifests (crash-resumable sweeps)
+    # ------------------------------------------------------------------
+    def _manifest_path(self, name: str) -> str:
+        digest = hashlib.sha256(name.encode("utf-8")).hexdigest()
+        return os.path.join(self.root, "manifests", f"{digest}.json")
+
+    def store_manifest(self, name: str, payload: Dict[str, Any]) -> str:
+        """Atomically persist a campaign manifest under ``name``.
+
+        The manifest is what makes a campaign *resumable*: it records
+        the full job list (ref/config/seed/name) plus the executor salt,
+        so :meth:`repro.farm.Campaign.resume` can rebuild the identical
+        key set after a crash and let cache hits skip completed shards.
+        """
+        return self._atomic_write(self._manifest_path(name),
+                                  {"name": name, **payload})
+
+    def load_manifest(self, name: str) -> Dict[str, Any]:
+        """Load the manifest stored under ``name``; KeyError if absent
+        or damaged (a manifest is all-or-nothing, unlike results)."""
+        try:
+            with open(self._manifest_path(name), "r",
+                      encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            raise KeyError(f"no campaign manifest named {name!r} "
+                           f"under {self.root}")
+        if not isinstance(payload, dict) or payload.get("name") != name:
+            raise KeyError(f"damaged campaign manifest {name!r} "
+                           f"under {self.root}")
+        return payload
+
+    def manifests(self) -> Iterator[str]:
+        """Names of every stored campaign manifest."""
+        subdir = os.path.join(self.root, "manifests")
+        try:
+            entries = sorted(os.listdir(subdir))
+        except OSError:
+            return
+        for entry in entries:
+            if not entry.endswith(".json"):
+                continue
+            try:
+                with open(os.path.join(subdir, entry), "r",
+                          encoding="utf-8") as handle:
+                    payload = json.load(handle)
+            except (OSError, ValueError):
+                continue
+            if isinstance(payload, dict) and "name" in payload:
+                yield payload["name"]
+
+    # ------------------------------------------------------------------
     def keys(self) -> Iterator[str]:
         for fanout in sorted(os.listdir(self.root)):
             subdir = os.path.join(self.root, fanout)
-            if not os.path.isdir(subdir):
+            # Result fan-out dirs are exactly two hex chars; skips the
+            # `manifests/` directory (campaign manifests, not results).
+            if len(fanout) != 2 or not os.path.isdir(subdir):
                 continue
             for entry in sorted(os.listdir(subdir)):
                 if entry.endswith(".json"):

@@ -33,7 +33,7 @@ import traceback
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.farm.cache import ResultCache
@@ -190,6 +190,49 @@ class Campaign:
             self._salts[job.ref] = salt
         return salt
 
+    def manifest(self) -> Dict[str, Any]:
+        """The JSON-pure description from which this campaign can be
+        rebuilt: executor salt plus the ordered job list."""
+        return {
+            "salt": self.executor.salt,
+            "jobs": [{"ref": job.ref, "config": job.config,
+                      "seed": job.seed, "name": job.name}
+                     for job in self.jobs],
+        }
+
+    @classmethod
+    def from_manifest(cls, cache_dir: str, name: str = "campaign",
+                      executor: Optional[Executor] = None) -> "Campaign":
+        """Rebuild a campaign from the manifest persisted in the result
+        cache by a previous :meth:`run` -- same name, same ordered job
+        list, same cache salt, hence the same content-addressed keys.
+        """
+        manifest = ResultCache(cache_dir).load_manifest(name)
+        executor = executor if executor is not None else Executor()
+        executor = replace(executor, cache_dir=cache_dir,
+                           salt=manifest["salt"])
+        campaign = cls(name, executor=executor)
+        for spec in manifest["jobs"]:
+            campaign.add(resolve_ref(spec["ref"]), config=spec["config"],
+                         seed=spec["seed"], name=spec["name"])
+        return campaign
+
+    @classmethod
+    def resume(cls, cache_dir: str, name: str = "campaign",
+               executor: Optional[Executor] = None) -> CampaignResult:
+        """Resume an interrupted campaign: rebuild it from the persisted
+        manifest and run it against the same cache.
+
+        Completed shards are cache hits and are skipped; only the
+        incomplete remainder executes.  The aggregate is byte-identical
+        to a never-interrupted run (the normalization rule makes cached
+        and fresh results indistinguishable).  ``executor`` optionally
+        overrides execution policy (width, timeout, retries) -- the
+        cache directory and salt always come from the manifest so the
+        key set cannot drift.
+        """
+        return cls.from_manifest(cache_dir, name, executor).run()
+
     def run(self) -> CampaignResult:
         """Execute every job (cache permitting) and aggregate in order."""
         executor = self.executor
@@ -199,6 +242,12 @@ class Campaign:
         started = time.perf_counter()
         cache = ResultCache(executor.cache_dir) \
             if executor.cache_dir else None
+        if cache is not None:
+            # Persist the campaign manifest *before* dispatching any
+            # work: a crash/SIGKILL/pool-break mid-sweep leaves behind
+            # the full job list, so Campaign.resume() can rebuild the
+            # identical key set and skip completed shards.
+            cache.store_manifest(self.name, self.manifest())
 
         outcomes = [JobOutcome(index, job, job.key(self._salt_for(job)))
                     for index, job in enumerate(self.jobs)]
@@ -431,6 +480,10 @@ class Campaign:
                     for future, outcome in expired:
                         in_flight.pop(future, None)
                         metrics.counter("farm.timeouts").inc()
+                        if outcome.attempts < max_attempts:
+                            # This timed-out job gets another attempt
+                            # after the pool teardown below.
+                            metrics.counter("farm.retries").inc()
                         retry_or_fail(
                             outcome, FAILURE_TIMEOUT,
                             f"exceeded {executor.timeout:g}s timeout")

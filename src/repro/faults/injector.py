@@ -54,12 +54,20 @@ class FaultInjector(SimObserver):
         self._handlers: Dict[Tuple[str, Any], Handler] = {}
         self._noc_rng = plan.rng("noc")
         self._stuck_releases: List[Callable[[], None]] = []
+        # Checkpoint support (repro.snap): every kernel item this injector
+        # owns is tracked so a snapshot can claim it.  `_scheduled` maps a
+        # plan.scheduled index to its queue item; `_stuck_records` holds
+        # one dict per asserted stuck-irq (core, deadline, release item).
+        self._scheduled: Dict[int, Any] = {}
+        self._stuck_records: List[Dict[str, Any]] = []
+        self._soc: Any = None
         self.register("kill_process", None, self._kill_process_handler)
         if observe_kernel:
             sim.add_observer(self)
-        for spec in plan.scheduled:
+        for index, spec in enumerate(plan.scheduled):
             if spec.time >= sim.now:
-                self.sim.at(spec.time, lambda spec=spec: self._fire(spec))
+                self._scheduled[index] = self.sim.at(
+                    spec.time, lambda spec=spec: self._fire(spec))
 
     # ------------------------------------------------------------------
     # handler registry
@@ -195,34 +203,132 @@ class FaultInjector(SimObserver):
             core = spec.target
             if core is None or not 0 <= core < len(soc.cores):
                 return False
-            line = soc.cores[core].irq
-
-            def hold(_payload: Any) -> None:
-                if not line.read():
-                    line.write(1)
-
-            line.negedge.subscribe(hold)
-            line.write(1)
-
-            def release() -> None:
-                line.negedge.unsubscribe(hold)
-                line.write(0)
-
-            self._stuck_releases.append(release)
             duration = spec.param("duration")
-            if duration is not None:
-                self.sim.after(duration, release)
+            deadline = self.sim.now + duration \
+                if duration is not None else None
+            self._assert_stuck(core, deadline)
             return True
 
+        self._soc = soc
         self.register("ram_flip", None, ram_flip)
         self.register("reg_flip", None, reg_flip)
         self.register("irq_stuck", None, irq_stuck)
+
+    def _assert_stuck(self, core: int, deadline: Optional[float],
+                      assert_line: bool = True,
+                      arm: bool = True) -> Dict[str, Any]:
+        """Hold ``core``'s irq line high until ``deadline`` (or forever).
+
+        ``assert_line=False`` re-installs only the hold subscription --
+        the snapshot-restore path, where the line's value is restored
+        separately via ``Signal.force``.
+        """
+        line = self._soc.cores[core].irq
+        record: Dict[str, Any] = {"core": core, "deadline": deadline,
+                                  "item": None, "active": True}
+
+        def hold(_payload: Any) -> None:
+            if not line.read():
+                line.write(1)
+
+        def release() -> None:
+            if not record["active"]:
+                return
+            record["active"] = False
+            line.negedge.unsubscribe(hold)
+            line.write(0)
+
+        record["hold"] = hold
+        record["release"] = release
+        record["line"] = line
+        line.negedge.subscribe(hold)
+        if assert_line:
+            line.write(1)
+        self._stuck_records.append(record)
+        self._stuck_releases.append(release)
+        if arm and deadline is not None:
+            record["item"] = self.sim.at(deadline, release)
+        return record
 
     def release_stuck_interrupts(self) -> None:
         """Clear every stuck interrupt line this injector asserted."""
         releases, self._stuck_releases = self._stuck_releases, []
         for release in releases:
             release()
+
+    # ------------------------------------------------------------------
+    # checkpoint/restore support (repro.snap)
+    # ------------------------------------------------------------------
+    def _active_stuck(self) -> List[Dict[str, Any]]:
+        return [r for r in self._stuck_records if r["active"]]
+
+    def snap_claims(self) -> List[Tuple[Any, str, int]]:
+        """``(item, kind, index)`` for every live kernel item this
+        injector owns: pending scheduled faults (index into
+        ``plan.scheduled``) and armed stuck-irq releases (index into the
+        active-stuck list, the order :meth:`snap_state` serializes)."""
+        claims: List[Tuple[Any, str, int]] = []
+        for index, item in self._scheduled.items():
+            if not item.cancelled and not item.consumed:
+                claims.append((item, "fault", index))
+        for position, record in enumerate(self._active_stuck()):
+            item = record["item"]
+            if item is not None and not item.cancelled \
+                    and not item.consumed:
+                claims.append((item, "stuck_release", position))
+        return claims
+
+    def snap_state(self) -> Dict[str, Any]:
+        """JSON-serializable injector state for a whole-SoC snapshot."""
+        version, internal, gauss_next = self._noc_rng.getstate()
+        return {
+            "rng": [version, list(internal), gauss_next],
+            "pending": sorted(index for index, item in
+                              self._scheduled.items()
+                              if not item.cancelled and not item.consumed),
+            "stuck": [{"core": r["core"], "deadline": r["deadline"]}
+                      for r in self._active_stuck()],
+        }
+
+    def snap_restore(self, state: Dict[str, Any]) -> None:
+        """Reset this injector to a snapshot's state.
+
+        Called *after* the kernel queue was cleared (so every item this
+        injector had scheduled is already gone) and *before* the claims
+        are re-armed in rank order via :meth:`snap_arm_fault` /
+        :meth:`snap_arm_stuck`.  Stuck holds are re-subscribed without
+        driving the line -- signal values are restored separately.
+        """
+        for record in self._stuck_records:
+            if record["active"]:
+                record["active"] = False
+                record["line"].negedge.unsubscribe(record["hold"])
+        self._stuck_records = []
+        self._stuck_releases = []
+        self._scheduled = {}
+        version, internal, gauss_next = state["rng"]
+        self._noc_rng.setstate((version, tuple(internal), gauss_next))
+        if state["stuck"] and self._soc is None:
+            raise RuntimeError("snapshot has stuck interrupts but this "
+                               "injector has no SoC attached; call "
+                               "attach_soc() before restore")
+        for stuck in state["stuck"]:
+            self._assert_stuck(stuck["core"], stuck["deadline"],
+                               assert_line=False, arm=False)
+
+    def snap_arm_fault(self, index: int) -> Any:
+        """Re-arm pending scheduled fault ``plan.scheduled[index]``."""
+        spec = self.plan.scheduled[index]
+        item = self.sim.at(spec.time, lambda: self._fire(spec))
+        self._scheduled[index] = item
+        return item
+
+    def snap_arm_stuck(self, position: int) -> Any:
+        """Re-arm the timed release of active stuck-irq ``position``."""
+        record = self._active_stuck()[position]
+        item = self.sim.at(record["deadline"], record["release"])
+        record["item"] = item
+        return item
 
     # ------------------------------------------------------------------
     # SimObserver: fault-correlated failure monitoring

@@ -59,7 +59,9 @@ class Watchpoint:
 class StopReason:
     """Why the debugger suspended the system."""
 
-    kind: str  # 'breakpoint' | 'watchpoint' | 'halted' | 'limit' | 'idle'
+    # 'breakpoint' | 'watchpoint' | 'halted' | 'limit' | 'idle' | 'step'
+    # | 'rewind' (time travel: position restored from a ring checkpoint)
+    kind: str
     detail: str = ""
     breakpoint: Optional[Breakpoint] = None
     watchpoint: Optional[Watchpoint] = None
@@ -72,7 +74,7 @@ class StopReason:
 class Debugger:
     """Whole-system debugger over one :class:`SoC`."""
 
-    def __init__(self, soc: SoC) -> None:
+    def __init__(self, soc: SoC, injector: Any = None) -> None:
         self.soc = soc
         self.breakpoints: List[Breakpoint] = []
         self.watchpoints: List[Watchpoint] = []
@@ -80,6 +82,20 @@ class Debugger:
         self.stops: List[StopReason] = []
         self.soc.bus.observe(self._on_bus_access)
         self._signal_hooks: List[Tuple[Signal, Callable]] = []
+        # Fault injector driving this platform (if any): its pending
+        # faults and RNG streams ride along in time-travel checkpoints.
+        self._injector = injector
+        # Time travel (repro.snap): ring buffer of periodic restorable
+        # checkpoints captured during run().  Hook mode gates the stop-
+        # condition hooks while replaying history: 'live' is normal,
+        # 'mute' swallows everything (replay to a known position),
+        # 'scan' records matches into _pending without mutating
+        # hits/last_hit (reverse_continue's search pass).
+        self._ring: List[Any] = []
+        self._tt_interval: Optional[float] = None
+        self._tt_capacity = 0
+        self._tt_next = 0.0
+        self._hook_mode = "live"
         # Sync-boundary contract: the debugger inspects the platform
         # between kernel events, so every core must retire at most one
         # instruction per event while a debugger is attached (breakpoints
@@ -125,10 +141,11 @@ class Debugger:
         self.watchpoints.append(wp)
 
         def on_event(payload: Any) -> None:
-            if not wp.enabled:
+            if not wp.enabled or self._hook_mode == "mute":
                 return
-            wp.hits += 1
-            wp.last_hit = (self.soc.sim.now, signal_name, payload)
+            if self._hook_mode == "live":
+                wp.hits += 1
+                wp.last_hit = (self.soc.sim.now, signal_name, payload)
             self._pending.append(StopReason(
                 "watchpoint", f"signal {signal_name} {edge}",
                 watchpoint=wp, time=self.soc.sim.now))
@@ -141,6 +158,8 @@ class Debugger:
 
     def _on_bus_access(self, kind: str, address: int, value: int,
                        master: str) -> None:
+        if self._hook_mode == "mute":
+            return
         for wp in self.watchpoints:
             if not wp.enabled or wp.kind == "signal":
                 continue
@@ -153,8 +172,10 @@ class Debugger:
             if wp.value_predicate is not None and \
                     not wp.value_predicate(value):
                 continue
-            wp.hits += 1
-            wp.last_hit = (self.soc.sim.now, kind, address, value, master)
+            if self._hook_mode == "live":
+                wp.hits += 1
+                wp.last_hit = (self.soc.sim.now, kind, address, value,
+                               master)
             self._pending.append(StopReason(
                 "watchpoint",
                 f"{master} {kind} [{address:#x}] = {value}",
@@ -171,6 +192,9 @@ class Debugger:
             reason = self._check_stop_conditions()
             if reason is not None:
                 return reason
+            if self._tt_interval is not None \
+                    and self.soc.sim.now >= self._tt_next:
+                self._ring_capture()
             if until_time is not None and self.soc.sim.now >= until_time:
                 return self._stopped(StopReason(
                     "limit", f"time {until_time}", time=self.soc.sim.now))
@@ -224,6 +248,169 @@ class Debugger:
         return reason
 
     # ------------------------------------------------------------------
+    # time travel (restorable checkpoints, see repro.snap)
+    # ------------------------------------------------------------------
+    def checkpoint(self, note: str = ""):
+        """Capture a real, restorable :class:`repro.snap.Snapshot`.
+
+        Unlike :meth:`system_snapshot` (a read-only inspection dict),
+        the returned snapshot restores via ``soc.restore()`` /
+        :func:`repro.snap.restore` into a bit-identical continuation.
+        While the debugger is attached every core already sits at a
+        reference-path boundary, so capture is instantaneous and does
+        not advance the simulation.
+        """
+        from repro.snap import checkpoint
+        return checkpoint(self.soc, injector=self._injector, note=note)
+
+    def enable_time_travel(self, interval: float = 1000.0,
+                           capacity: int = 8) -> None:
+        """Keep a ring of ``capacity`` checkpoints, one every
+        ``interval`` simulated cycles during :meth:`run` -- the fuel for
+        :meth:`rewind_to` and :meth:`reverse_continue`.  Captures a
+        baseline checkpoint immediately."""
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self._tt_interval = float(interval)
+        self._tt_capacity = int(capacity)
+        self._ring = []
+        self._ring_capture()
+
+    def disable_time_travel(self) -> None:
+        self._tt_interval = None
+        self._ring = []
+
+    @property
+    def checkpoints(self) -> List[Any]:
+        """The current time-travel ring, oldest first (read-only view)."""
+        return list(self._ring)
+
+    def _ring_capture(self) -> None:
+        from repro.snap import checkpoint
+        snap = checkpoint(self.soc, injector=self._injector,
+                          note=f"ring@{self.soc.sim.now:g}",
+                          embed_programs=False)
+        self._ring.append(snap)
+        if len(self._ring) > self._tt_capacity:
+            del self._ring[0]
+        self._tt_next = self.soc.sim.now + self._tt_interval
+
+    def _restore(self, snap) -> None:
+        from repro.snap import restore
+        restore(snap, self.soc, injector=self._injector)
+
+    def rewind_to(self, cycle: float) -> StopReason:
+        """Travel back: restore the newest ring checkpoint at or before
+        ``cycle``, then deterministically re-execute (with stop hooks
+        muted) until every event with time <= ``cycle`` has run.
+
+        The platform afterwards sits exactly where the original run sat
+        at that boundary -- same registers, RAM, peripherals and event
+        queue -- and :meth:`run` continues bit-identically from there.
+        """
+        from repro.snap import SnapshotError
+        candidates = [snap for snap in self._ring if snap.time <= cycle]
+        if not candidates:
+            raise SnapshotError(
+                f"no time-travel checkpoint at or before cycle {cycle:g} "
+                f"(ring covers {[snap.time for snap in self._ring]})")
+        snap = candidates[-1]
+        self._restore(snap)
+        sim = self.soc.sim
+        self._hook_mode = "mute"
+        try:
+            while True:
+                upcoming = sim.peek_time()
+                if upcoming is None or upcoming > cycle:
+                    break
+                sim.step()
+        finally:
+            self._hook_mode = "live"
+            self._pending.clear()
+        return self._stopped(StopReason(
+            "rewind", f"rewound to t={sim.now:g} "
+            f"(from checkpoint t={snap.time:g})", time=sim.now))
+
+    def reverse_continue(self) -> Optional[StopReason]:
+        """Travel back to the *latest* stop condition strictly earlier
+        (in simulated time) than the current position.
+
+        Scans backwards through the checkpoint ring: replays each
+        segment once in 'scan' mode to locate the last boundary where a
+        currently-enabled breakpoint or watchpoint fires, then replays
+        again to land exactly there with normal stop semantics (the
+        landing event's hooks run live, so ``hits``/``last_hit`` and
+        one-shot breakpoint disarming behave as in a forward run).
+        Returns ``None`` -- and restores the current position -- when no
+        earlier hit exists in the ring's coverage.
+        """
+        sim = self.soc.sim
+        target = sim.now
+        here = self.checkpoint(note="reverse_continue origin")
+        for snap in reversed(self._ring):
+            if snap.time >= target:
+                continue
+            hit = self._scan_segment(snap, target)
+            if hit is None:
+                continue
+            kind, steps = hit
+            self._restore(snap)
+            self._hook_mode = "mute"
+            try:
+                replay = steps if kind == "bp" else steps - 1
+                for _ in range(replay):
+                    sim.step()
+            finally:
+                self._hook_mode = "live"
+                self._pending.clear()
+            if kind == "wp":
+                sim.step()  # the hit event itself, hooks live
+            reason = self._check_stop_conditions()
+            if reason is None:  # pragma: no cover - defensive
+                reason = self._stopped(StopReason(
+                    "rewind", "reverse_continue landed without a "
+                    "matching condition", time=sim.now))
+            return reason
+        self._restore(here)
+        return None
+
+    def _scan_segment(self, snap, target: float):
+        """Replay ``snap``..``target`` in scan mode; return the last
+        boundary strictly before ``target`` where a stop condition
+        matches, as ``(kind, steps)`` -- or None."""
+        sim = self.soc.sim
+        self._restore(snap)
+        self._pending.clear()
+        last = None
+        steps = 0
+        self._hook_mode = "scan"
+        try:
+            while sim.now < target:
+                kind = None
+                if self._pending:
+                    kind = "wp"
+                    self._pending.clear()
+                else:
+                    for bp in self.breakpoints:
+                        if not bp.enabled:
+                            continue
+                        core = self.soc.cores[bp.core_id]
+                        if not core.halted and core.pc == bp.pc:
+                            kind = "bp"
+                            break
+                if kind is not None:
+                    last = (kind, steps)
+                if not sim.step():
+                    break
+                steps += 1
+        finally:
+            self._hook_mode = "live"
+            self._pending.clear()
+        return last
+
+    # ------------------------------------------------------------------
     # consistent inspection (all side-effect free)
     # ------------------------------------------------------------------
     def core_states(self) -> List[CoreState]:
@@ -254,7 +441,15 @@ class Debugger:
         return snapshot
 
     def system_snapshot(self) -> Dict[str, Any]:
-        """Everything at once -- the paper's 'consistent visibility'."""
+        """Everything at once -- the paper's 'consistent visibility'.
+
+        This is a read-only *inspection view*: a plain dict of derived
+        register/signal values whose shape is stable for existing
+        callers.  It is **not restorable** -- it carries no kernel event
+        queue, process wait-state, or RNG streams.  For a snapshot that
+        restores into a bit-identical continuation use
+        :meth:`checkpoint` (:mod:`repro.snap`).
+        """
         return {
             "time": self.soc.sim.now,
             "cores": [vars(state) for state in self.core_states()],

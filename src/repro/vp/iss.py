@@ -430,6 +430,13 @@ class Cpu:
         self._lane_group = None
         self._lane_id = -1
         self._lane_pending = None
+        # Checkpoint support (repro.snap): which kind of yield the core's
+        # process is currently suspended at.  "ref" marks the reference
+        # path's per-instruction Delay -- the only suspension point whose
+        # continuation is reconstructible from architectural state alone
+        # (pc + registers determine the pending instruction), so snapshot
+        # capture parks every core there before serializing.
+        self._wait_state: Optional[str] = None
         self.process = None
 
     # ------------------------------------------------------------------
@@ -526,6 +533,7 @@ class Cpu:
                         self.pc = pending.pc
                         lane_group.park(self)
                         total = pending.total
+                        self._wait_state = "lane"
                         # One kernel event per consumed batch (not the
                         # scalar tiers' two): the wakeup still lands at
                         # the exact reference-path cycle, and tied-time
@@ -570,6 +578,7 @@ class Cpu:
             if self.stall_hook is not None:
                 stall = self.stall_hook(self)
                 if stall > 0:
+                    self._wait_state = "stall"
                     yield Delay(stall)
             # Fast-path eligibility: no observable interaction may fall
             # inside a batch (module docstring lists the boundary rules).
@@ -594,6 +603,7 @@ class Cpu:
                     result = lane_group.step(self, decoded)
                     self.pc = result.pc
                     lane_group.park(self)
+                    self._wait_state = "lane"
                     # Single kernel event per batch (see the consume path
                     # above): the end-of-batch wakeup is a reference-path
                     # cycle and per-core priority pins tied-time order.
@@ -652,6 +662,7 @@ class Cpu:
                         if (total >= quantum or not 0 <= pc < n
                                 or not batchable[pc]):
                             break
+                    self._wait_state = "batch"
                     if total > cost:
                         yield Delay(total - cost)
                     yield Delay(cost)
@@ -703,6 +714,7 @@ class Cpu:
                     # -- which is why core processes run at a fixed
                     # per-core kernel priority (see __init__): tied
                     # wakeups order by (time, priority), not history.
+                    self._wait_state = "batch"
                     if total > cost:
                         yield Delay(total - cost)
                     yield Delay(cost)
@@ -718,6 +730,7 @@ class Cpu:
             # Reference path: one instruction, one kernel event.
             instr = program.instructions[self.pc]
             cycles = CYCLES.get(instr.op, DEFAULT_CYCLES)
+            self._wait_state = "ref"
             yield Delay(cycles)
             self.cycle_count += cycles
             self.instr_count += 1
@@ -727,6 +740,34 @@ class Cpu:
                 for hook in self._post_instr_hooks:
                     hook(self, instr)
         self.halted_signal.write(1)
+
+    def _resume_run(self):
+        """Continuation of a checkpointed reference-path suspension.
+
+        A core parked by :mod:`repro.snap` sits at the reference path's
+        per-instruction ``yield Delay(cycles)``: the delay has been
+        scheduled but the instruction at ``pc`` has not executed and the
+        cycle/instruction counters have not been charged.  This generator
+        has no leading yield, so when it is spawned with
+        ``start_delay = wake_time - now`` its body runs *at* the wake
+        event -- executing exactly what the uninterrupted generator would
+        have on resume -- and then delegates back into :meth:`_run`.
+        """
+        program = self.program
+        n = len(program.instructions)
+        if not 0 <= self.pc < n:
+            raise RuntimeError(
+                f"{self.name}: pc {self.pc} outside program (len {n})")
+        instr = program.instructions[self.pc]
+        cycles = CYCLES.get(instr.op, DEFAULT_CYCLES)
+        self.cycle_count += cycles
+        self.instr_count += 1
+        self._execute(instr)
+        self.pc_signal.write(self.pc)
+        if self._post_instr_hooks:
+            for hook in self._post_instr_hooks:
+                hook(self, instr)
+        yield from self._run()
 
     # ------------------------------------------------------------------
     def _execute(self, instr: Instr) -> None:

@@ -46,6 +46,16 @@ class DmaDevice:
         self.irq = Signal(f"{name}.irq", 0)
         self.transfers_completed = 0
         self.words_moved = 0
+        # In-flight transfer state lives in fields (not generator locals)
+        # so a checkpoint (repro.snap) can capture a half-done transfer
+        # and restore reconstructs the continuation: word `_xfer_index`
+        # of `_xfer_len` is the next to copy.  The register file
+        # (src/dst/length) stays rewritable mid-transfer, as before.
+        self._xfer_src = 0
+        self._xfer_dst = 0
+        self._xfer_len = 0
+        self._xfer_index = 0
+        self._xfer_proc = None
         # Called with this device on every transfer completion.  Unlike
         # irq.posedge these fire even when the line is still high from a
         # prior un-acknowledged transfer.
@@ -91,15 +101,31 @@ class DmaDevice:
         if self.length <= 0:
             return
         self.busy = True
-        self.sim.spawn(self._transfer(), name=f"{self.name}.xfer")
+        self._xfer_src = self.src
+        self._xfer_dst = self.dst
+        self._xfer_len = self.length
+        self._xfer_index = 0
+        self._xfer_proc = self.sim.spawn(self._transfer(),
+                                         name=f"{self.name}.xfer")
 
-    def _transfer(self):
-        src, dst, length = self.src, self.dst, self.length
-        for index in range(length):
-            yield Delay(self.cycles_per_word)
-            word = self.bus.read(src + index, master=self.name)
-            self.bus.write(dst + index, word, master=self.name)
+    def _transfer(self, resume: bool = False):
+        """Copy `_xfer_len` words, one per `cycles_per_word` cycles.
+
+        With ``resume=True`` (checkpoint restore) the first word is
+        copied immediately -- its Delay already elapsed before the
+        snapshot was taken, so the restore shim is spawned at the
+        recorded wake time and skips straight to the copy.
+        """
+        while self._xfer_index < self._xfer_len:
+            if resume:
+                resume = False
+            else:
+                yield Delay(self.cycles_per_word)
+            index = self._xfer_index
+            word = self.bus.read(self._xfer_src + index, master=self.name)
+            self.bus.write(self._xfer_dst + index, word, master=self.name)
             self.words_moved += 1
+            self._xfer_index = index + 1
         self.busy = False
         self.done = True
         self.transfers_completed += 1

@@ -176,6 +176,27 @@ class SoC:
         return all(core.halted for core in self.cores)
 
     # ------------------------------------------------------------------
+    def checkpoint(self, injector=None, note: str = "",
+                   embed_programs: bool = True):
+        """Capture an exact, restorable snapshot (see :mod:`repro.snap`).
+
+        Parks every core at a reference-path boundary first; pass the
+        platform's :class:`~repro.faults.FaultInjector` (if any) so its
+        pending faults and RNG streams are captured too.
+        """
+        from repro.snap import checkpoint
+        return checkpoint(self, injector=injector, note=note,
+                          embed_programs=embed_programs)
+
+    def restore(self, snapshot, injector=None) -> "SoC":
+        """Load a :class:`repro.snap.Snapshot` (or its dict form) into
+        this platform, in place; returns ``self``."""
+        from repro.snap import Snapshot, restore
+        if isinstance(snapshot, dict):
+            snapshot = Snapshot.from_dict(snapshot)
+        return restore(snapshot, self, injector=injector)
+
+    # ------------------------------------------------------------------
     def acquire_sync(self) -> None:
         """Force every core onto the per-instruction reference path (the
         debugger's synchronization contract); pair with release_sync."""
