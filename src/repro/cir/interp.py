@@ -593,8 +593,14 @@ def _c_mod(left: Any, right: Any) -> Any:
         raise InterpError("invalid operands to %: floats are not allowed")
     if right == 0:
         raise InterpError("modulo by zero")
+    # Truncated remainder (sign follows the dividend), wrapped to the
+    # 32-bit word so the div/mod pair preserves a == (a/b)*b + a%b on
+    # every operand pair.  The single overflow corner, INT_MIN % -1,
+    # therefore returns 0: its quotient wraps back to INT_MIN (see
+    # _c_div), and the ISS-side lowering of % as a - (a/b)*b computes
+    # the identical 0 through the same wraps.
     remainder = abs(left) % abs(right)
-    return remainder if left >= 0 else -remainder
+    return _wrap32(remainder if left >= 0 else -remainder)
 
 
 def _wrap32(value: int) -> int:

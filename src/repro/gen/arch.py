@@ -1,0 +1,170 @@
+"""Parametric architecture generator: the platform side of the fuzzer.
+
+Where :mod:`repro.gen.firmware` varies the software, this module varies
+the *platform*: NoC topologies (mesh/torus/ring), heterogeneous core
+counts and speeds, memory sizes and peripheral counts.  Everything it
+emits is constructed through the validated config types --
+:class:`repro.vp.SoCConfig`, :class:`repro.manycore.ManyCoreConfig`,
+:class:`repro.maps.PlatformSpec`, :class:`repro.hopes.ArchInfo` -- so a
+generated platform is valid by construction, and
+:func:`generate_adversarial_dicts` produces the *invalid* corners those
+validators must loudly reject (every rejection is unit-tested).
+
+Determinism: every generator is a pure function of the
+``random.Random`` handed in (derive it as
+``random.Random(f"{seed}:{stream}")``).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List
+
+from repro.hopes.archfile import ArchInfo, InterconnectInfo, ProcessorInfo
+from repro.manycore.machine import TOPOLOGIES, ManyCoreConfig
+from repro.maps.spec import PEClass, PlatformSpec
+from repro.vp.soc import SoCConfig
+
+_FREQ_CHOICES = [0.5, 1.0, 1.0, 1.5, 2.0, 4.0]
+
+
+def generate_soc_config(rng: random.Random,
+                        n_cores: int = 0) -> Dict[str, Any]:
+    """Random :class:`SoCConfig` parameters as a JSON-pure kwargs dict
+    (the backend is the differential harness's axis, so it is left
+    out).  Passing ``n_cores`` pins the core count to the firmware
+    scenario's."""
+    kwargs = {
+        "n_cores": n_cores or rng.choice([1, 2, 3, 4]),
+        "ram_words": rng.choice([1024, 2048, 4096, 8192]),
+        "n_timers": rng.choice([1, 2, 4]),
+        "n_semaphores": rng.choice([8, 16]),
+        "quantum": rng.choice([1, 8, 64, 128]),
+    }
+    SoCConfig(**kwargs)  # generated platforms are valid by construction
+    return kwargs
+
+
+def generate_manycore_config(rng: random.Random) -> ManyCoreConfig:
+    """A random valid many-core chip: topology, rectangular grid,
+    heterogeneous per-core speeds under an ample power budget."""
+    n_cores = rng.choice([1, 2, 4, 6, 8, 9, 12, 16])
+    divisors = [w for w in range(1, n_cores + 1) if n_cores % w == 0]
+    freqs = None
+    if rng.random() < 0.5:
+        freqs = [rng.choice(_FREQ_CHOICES) for _ in range(n_cores)]
+    budget = None
+    if rng.random() < 0.5:
+        budget = (sum(freqs) if freqs else float(n_cores)) \
+            * rng.uniform(1.0, 2.0)
+    return ManyCoreConfig(
+        n_cores=n_cores,
+        mesh_width=rng.choice(divisors + [None]),
+        topology=rng.choice(TOPOLOGIES),
+        freqs=freqs,
+        power_budget=budget,
+        local_memory_words=rng.choice([1 << 12, 1 << 14, 1 << 16]),
+    )
+
+
+def generate_platform_spec(rng: random.Random) -> PlatformSpec:
+    """A random heterogeneous MAPS platform (unique PE names by
+    construction)."""
+    platform = PlatformSpec(
+        name=f"gen{rng.randrange(10 ** 6)}",
+        channel_setup_cost=rng.choice([5.0, 10.0, 20.0]),
+        channel_word_cost=rng.choice([0.25, 0.5, 1.0]),
+        scheduler_dispatch_cost=rng.choice([20.0, 50.0, 100.0]))
+    for index in range(rng.randint(1, 6)):
+        platform.add_pe(f"pe{index}", rng.choice(list(PEClass)),
+                        freq=rng.choice(_FREQ_CHOICES))
+    return platform
+
+
+def generate_arch_candidates(rng: random.Random,
+                             count: int = 8) -> List[ArchInfo]:
+    """Random HOPES candidate architectures -- a far larger design space
+    than the hand-written smp/cell ladders -- for
+    :func:`repro.hopes.explore.explore_architectures`."""
+    candidates = []
+    for index in range(count):
+        model = rng.choice(["shared", "distributed"])
+        kind = rng.choice(["bus", "dma", "noc"])
+        arch = ArchInfo(
+            name=f"rand{index}", model=model,
+            interconnect=InterconnectInfo(kind,
+                                          setup=rng.choice([8.0, 12.0,
+                                                            60.0]),
+                                          per_word=rng.choice([0.25, 0.5,
+                                                               1.0])))
+        arch.processors.append(ProcessorInfo("host0", "host",
+                                             rng.choice(_FREQ_CHOICES)))
+        for extra in range(rng.randint(0, 4)):
+            proc_type = rng.choice(["smp", "accel"])
+            local_store = rng.choice([None, 1024, 2048]) \
+                if proc_type == "accel" else None
+            arch.processors.append(
+                ProcessorInfo(f"{proc_type}{extra}", proc_type,
+                              rng.choice(_FREQ_CHOICES), local_store))
+        candidates.append(arch)
+    return candidates
+
+
+def generate_adversarial_dicts(rng: random.Random) -> List[Dict[str, Any]]:
+    """Invalid platform descriptions the validators must reject.
+
+    Each entry names the target config type, the constructor payload and
+    the defect; the test suite asserts every one raises
+    :class:`ValueError` at construction, never mis-simulates.
+    """
+    zero_or_negative = rng.choice([0, -1, -4])
+    bad_freq = rng.choice([0.0, -1.0, -0.25])
+    return [
+        {"target": "manycore", "defect": "zero/negative frequency",
+         "data": {"n_cores": 2, "freqs": [1.0, bad_freq]}},
+        {"target": "manycore", "defect": "non-finite frequency",
+         "data": {"n_cores": 1, "freqs": [float("inf")]}},
+        {"target": "manycore", "defect": "non-rectangular mesh",
+         "data": {"n_cores": 6, "mesh_width": 4}},
+        {"target": "manycore", "defect": "unknown topology",
+         "data": {"n_cores": 4, "topology": "hypercube"}},
+        {"target": "manycore", "defect": "zero/negative core count",
+         "data": {"n_cores": zero_or_negative}},
+        {"target": "manycore", "defect": "freq count mismatch",
+         "data": {"n_cores": 3, "freqs": [1.0, 1.0]}},
+        {"target": "manycore", "defect": "negative power budget",
+         "data": {"n_cores": 2, "power_budget": -1.0}},
+        {"target": "manycore", "defect": "unknown key",
+         "data": {"n_cores": 2, "voltage": 1.2}},
+        {"target": "platform", "defect": "duplicate PE names",
+         "data": {"pes": [{"name": "pe0", "freq": 1.0},
+                          {"name": "pe0", "freq": 2.0}]}},
+        {"target": "platform", "defect": "zero/negative PE frequency",
+         "data": {"pes": [{"name": "pe0", "freq": bad_freq}]}},
+        {"target": "platform", "defect": "negative channel cost",
+         "data": {"channel_word_cost": -0.5}},
+        {"target": "soc", "defect": "zero/negative core count",
+         "data": {"n_cores": zero_or_negative}},
+        {"target": "soc", "defect": "zero/negative quantum",
+         "data": {"quantum": zero_or_negative}},
+        {"target": "soc", "defect": "unknown backend",
+         "data": {"backend": "turbo"}},
+        {"target": "soc", "defect": "zero/negative RAM size",
+         "data": {"ram_words": zero_or_negative}},
+    ]
+
+
+def build_adversarial(entry: Dict[str, Any]) -> Any:
+    """Construct one adversarial entry -- expected to raise ValueError."""
+    if entry["target"] == "manycore":
+        return ManyCoreConfig.from_dict(entry["data"])
+    if entry["target"] == "platform":
+        return PlatformSpec.from_dict(entry["data"])
+    if entry["target"] == "soc":
+        return SoCConfig(**entry["data"])
+    raise ValueError(f"unknown adversarial target {entry['target']!r}")
+
+
+__all__ = ["build_adversarial", "generate_adversarial_dicts",
+           "generate_arch_candidates", "generate_manycore_config",
+           "generate_platform_spec", "generate_soc_config"]

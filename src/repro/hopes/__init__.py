@@ -29,13 +29,16 @@ from repro.hopes.explore import (
     cell_candidates,
     evaluate_architecture_job,
     explore_architectures,
+    explore_random_architectures,
     smp_candidates,
 )
 
 __all__ = [
     "ArchInfo", "ExplorationResult", "cell_candidates", "cic_from_sdf",
     "passthrough_body", "sink_body", "source_body",
-    "evaluate_architecture_job", "explore_architectures", "smp_candidates", "CICApplication", "CICChannel", "CICTask", "CICTranslator",
+    "evaluate_architecture_job", "explore_architectures",
+    "explore_random_architectures", "smp_candidates",
+    "CICApplication", "CICChannel", "CICTask", "CICTranslator",
     "CellTarget", "ExecutionReport", "GeneratedTarget", "MPCoreTarget",
     "ProcessorInfo", "RuntimeSystem", "TranslationError", "parse_arch_xml",
     "to_arch_xml",

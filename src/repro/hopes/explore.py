@@ -216,6 +216,30 @@ def _explore_on_farm(app_factory: Callable[[], CICApplication],
     return result
 
 
+def explore_random_architectures(app_factory: Callable[[], CICApplication],
+                                 seed: int, count: int = 16,
+                                 iterations: int = 20,
+                                 costs: Optional[Dict[str, float]] = None,
+                                 executor: Optional[Any] = None
+                                 ) -> ExplorationResult:
+    """Explore a *generated* candidate space instead of the hand-written
+    smp/cell ladders.
+
+    Candidates come from :func:`repro.gen.arch.generate_arch_candidates`
+    seeded per the house rule (``random.Random(f"{seed}:arch")``), so
+    the same seed always explores the same space -- and, through the
+    farm executor, caches and replays byte-identically.
+    """
+    import random
+
+    from repro.gen.arch import generate_arch_candidates
+    candidates = generate_arch_candidates(
+        random.Random(f"{seed}:arch"), count=count)
+    return explore_architectures(app_factory, candidates,
+                                 iterations=iterations, costs=costs,
+                                 executor=executor)
+
+
 def _pareto_front(points: List[CandidatePoint]) -> List[CandidatePoint]:
     """Minimize both (hardware_cost, end_time)."""
     front: List[CandidatePoint] = []
@@ -234,4 +258,5 @@ def _pareto_front(points: List[CandidatePoint]) -> List[CandidatePoint]:
 
 __all__ = ["CandidatePoint", "ExplorationResult", "cell_candidates",
            "evaluate_architecture_job", "explore_architectures",
-           "hardware_cost", "smp_candidates"]
+           "explore_random_architectures", "hardware_cost",
+           "smp_candidates"]

@@ -14,7 +14,15 @@ Section II argues for:
 The E1-E3 and A1 benches run on these models.
 """
 
-from repro.manycore.machine import Core, Machine, mesh_distance
+from repro.manycore.machine import (
+    Core,
+    Machine,
+    ManyCoreConfig,
+    TOPOLOGIES,
+    mesh_distance,
+    ring_distance,
+    torus_distance,
+)
 from repro.manycore.freq_governor import FrequencyGovernor, amdahl_speedup
 from repro.manycore.os_scheduler import (
     AppSpec,
@@ -31,9 +39,9 @@ from repro.manycore.actors import ActorSystem, SequentialActor
 
 __all__ = [
     "ActorSystem", "AppResult", "AppSpec", "Core", "FrequencyGovernor",
-    "LocalityModel", "Machine", "MemoryAccessPlan", "Message", "NoCModel",
-    "PrefetchPlan",
-    "ScheduleOutcome", "SequentialActor", "amdahl_speedup",
-    "expand_periodic", "mesh_distance",
-    "run_hybrid", "run_space_shared", "run_time_shared",
+    "LocalityModel", "Machine", "ManyCoreConfig", "MemoryAccessPlan",
+    "Message", "NoCModel", "PrefetchPlan",
+    "ScheduleOutcome", "SequentialActor", "TOPOLOGIES", "amdahl_speedup",
+    "expand_periodic", "mesh_distance", "ring_distance",
+    "run_hybrid", "run_space_shared", "run_time_shared", "torus_distance",
 ]

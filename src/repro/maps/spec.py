@@ -10,6 +10,7 @@ Python API.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import List, Optional
@@ -52,6 +53,19 @@ class PESpec:
     pe_class: PEClass = PEClass.RISC
     freq: float = 1.0  # speed multiplier
 
+    def __post_init__(self) -> None:
+        # Adversarial-config guard: a zero/negative/non-finite frequency
+        # mis-simulates (division by freq everywhere) instead of failing;
+        # the architecture generator will produce such corners, so they
+        # must be rejected loudly at construction.
+        if not isinstance(self.name, str) or not self.name:
+            raise ValueError(f"PE name must be a non-empty string, "
+                             f"got {self.name!r}")
+        if not (isinstance(self.freq, (int, float))
+                and math.isfinite(self.freq) and self.freq > 0):
+            raise ValueError(f"PE {self.name!r}: freq must be a positive "
+                             f"finite number, got {self.freq!r}")
+
     def cycles_for(self, abstract_cost: float) -> float:
         return abstract_cost / self.freq
 
@@ -65,6 +79,21 @@ class PlatformSpec:
     channel_setup_cost: float = 10.0     # cycles per message
     channel_word_cost: float = 0.5       # cycles per word transferred
     scheduler_dispatch_cost: float = 50.0  # SW-OS task dispatch cycles
+
+    def __post_init__(self) -> None:
+        for label in ("channel_setup_cost", "channel_word_cost",
+                      "scheduler_dispatch_cost"):
+            value = getattr(self, label)
+            if not (isinstance(value, (int, float))
+                    and math.isfinite(value) and value >= 0):
+                raise ValueError(f"{label} must be a non-negative finite "
+                                 f"number, got {value!r}")
+        # PEs handed in directly (bypassing add_pe) get the same
+        # duplicate-name check the builder path enforces.
+        names = [pe.name for pe in self.pes]
+        if len(set(names)) != len(names):
+            duplicate = next(n for n in names if names.count(n) > 1)
+            raise ValueError(f"duplicate PE {duplicate!r}")
 
     def add_pe(self, name: str, pe_class: PEClass = PEClass.RISC,
                freq: float = 1.0) -> PESpec:

@@ -20,6 +20,19 @@ Misc:     ``nop`` / ``halt`` / ``ei`` / ``di`` (interrupt enable/disable)
 
 Directives: ``label:``, ``.word v [v ...]``, ``.org addr``, ``; comment``
 or ``# comment``.
+
+Immediate ranges
+----------------
+The assembler canonicalizes every immediate at assemble time so a
+program's meaning never depends on which execution path decodes it:
+
+- *data immediates* (``li``/``addi`` constants, ``lw``/``sw``/``swap``
+  offsets, ``.word`` values) wrap to the signed 32-bit two's-complement
+  image -- the same image every backend's register file holds;
+- *control-flow targets* (numeric ``beq``/``bne``/``blt``/``bge``/
+  ``jmp``/``jal`` operands) must already be canonical instruction
+  indices in ``[0, 2**31)``; anything else is rejected with
+  :class:`AsmError`, since no label can ever resolve there.
 """
 
 from __future__ import annotations
@@ -99,6 +112,24 @@ def _parse_register(token: str, line_no: int, line: str) -> int:
     return index
 
 
+def _wrap_word(value: int) -> int:
+    """The signed 32-bit two's-complement image (the ISS word size --
+    duplicated here rather than imported so isa stays import-cycle-free
+    below iss/jit)."""
+    value &= 0xFFFFFFFF
+    return value - 0x1_0000_0000 if value & 0x8000_0000 else value
+
+
+def _check_target(value: int, op: str, line_no: int, line: str) -> int:
+    """Validate a resolved control-flow target: a canonical instruction
+    index.  Out-of-program targets still fault at runtime; what is
+    rejected here is an encoding no pc can ever hold."""
+    if not 0 <= value < 0x8000_0000:
+        raise AsmError(f"{op} target {value} out of range [0, 2**31)",
+                       line_no, line)
+    return value
+
+
 def _parse_imm(token: str, line_no: int, line: str) -> Union[int, str]:
     token = token.strip()
     try:
@@ -152,12 +183,15 @@ def assemble(source: str) -> AsmProgram:
         rest = parts[1] if len(parts) > 1 else ""
         if op == ".org":
             data_cursor = int(rest.strip(), 0)
+            if data_cursor < 0:
+                raise AsmError(f".org address {data_cursor} is negative",
+                               line_no, raw)
             continue
         if op == ".word":
             if data_cursor is None:
                 raise AsmError(".word before .org", line_no, raw)
             for token in rest.replace(",", " ").split():
-                program.data[data_cursor] = int(token, 0)
+                program.data[data_cursor] = _wrap_word(int(token, 0))
                 data_cursor += 1
             continue
         if data_cursor is not None:
@@ -195,13 +229,13 @@ def _encode(op: str, operands: List[str], line_no: int, raw: str,
             raise AsmError("addi needs rd, ra, imm", line_no, raw)
         rd = _parse_register(operands[0], line_no, raw)
         ra = _parse_register(operands[1], line_no, raw)
-        imm = resolve(_parse_imm(operands[2], line_no, raw))
+        imm = _wrap_word(resolve(_parse_imm(operands[2], line_no, raw)))
         return Instr("addi", (rd, ra, imm), line_no)
     if op == "li":
         if len(operands) != 2:
             raise AsmError("li needs rd, imm", line_no, raw)
         rd = _parse_register(operands[0], line_no, raw)
-        imm = resolve(_parse_imm(operands[1], line_no, raw))
+        imm = _wrap_word(resolve(_parse_imm(operands[1], line_no, raw)))
         return Instr("li", (rd, imm), line_no)
     if op == "mov":
         if len(operands) != 2:
@@ -214,18 +248,20 @@ def _encode(op: str, operands: List[str], line_no: int, raw: str,
             raise AsmError(f"{op} needs reg, imm(reg)", line_no, raw)
         reg = _parse_register(operands[0], line_no, raw)
         imm, base = _parse_mem_operand(operands[1], line_no, raw)
-        return Instr(op, (reg, resolve(imm), base), line_no)
+        return Instr(op, (reg, _wrap_word(resolve(imm)), base), line_no)
     if op in BRANCH_OPS:
         if len(operands) != 3:
             raise AsmError(f"{op} needs ra, rb, label", line_no, raw)
         ra = _parse_register(operands[0], line_no, raw)
         rb = _parse_register(operands[1], line_no, raw)
-        target = resolve(_parse_imm(operands[2], line_no, raw))
+        target = _check_target(resolve(_parse_imm(operands[2], line_no, raw)),
+                               op, line_no, raw)
         return Instr(op, (ra, rb, target), line_no)
     if op in ("jmp", "jal"):
         if len(operands) != 1:
             raise AsmError(f"{op} needs a target", line_no, raw)
-        target = resolve(_parse_imm(operands[0], line_no, raw))
+        target = _check_target(resolve(_parse_imm(operands[0], line_no, raw)),
+                               op, line_no, raw)
         return Instr(op, (target,), line_no)
     if op == "jr":
         if len(operands) != 1:

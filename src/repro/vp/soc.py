@@ -22,7 +22,7 @@ from typing import Dict, List, Optional, Union
 from repro.desim import Signal, Simulator
 from repro.vp.bus import Bus, Ram
 from repro.vp.isa import AsmProgram, assemble
-from repro.vp.iss import Cpu, DEFAULT_BACKEND, DEFAULT_QUANTUM
+from repro.vp.iss import BACKENDS, Cpu, DEFAULT_BACKEND, DEFAULT_QUANTUM
 from repro.vp.lanes import LaneGroup
 from repro.vp.peripherals.dma import DmaDevice
 from repro.vp.peripherals.intc import InterruptController
@@ -67,6 +67,33 @@ class SoCConfig:
     # path on divergence.  All tiers are bit-identical; the batching
     # tiers round the quantum up to superblock granularity.
     backend: str = DEFAULT_BACKEND
+
+    def __post_init__(self) -> None:
+        # Adversarial-config guard: the architecture generator emits
+        # SoCConfigs, so nonsense values must fail here, loudly, not
+        # surface later as a mis-wired platform.
+        if not isinstance(self.n_cores, int) or self.n_cores < 1:
+            raise ValueError(f"n_cores must be a positive int, "
+                             f"got {self.n_cores!r}")
+        if not isinstance(self.ram_words, int) or self.ram_words < 1:
+            raise ValueError(f"ram_words must be a positive int, "
+                             f"got {self.ram_words!r}")
+        if not isinstance(self.n_timers, int) or self.n_timers < 0:
+            raise ValueError(f"n_timers must be a non-negative int, "
+                             f"got {self.n_timers!r}")
+        if not isinstance(self.n_semaphores, int) or self.n_semaphores < 0:
+            raise ValueError(f"n_semaphores must be a non-negative int, "
+                             f"got {self.n_semaphores!r}")
+        if self.irq_vector is not None and (
+                not isinstance(self.irq_vector, int) or self.irq_vector < 0):
+            raise ValueError(f"irq_vector must be None or a non-negative "
+                             f"int, got {self.irq_vector!r}")
+        if not isinstance(self.quantum, int) or self.quantum < 1:
+            raise ValueError(f"quantum must be a positive int, "
+                             f"got {self.quantum!r}")
+        if self.backend not in BACKENDS:
+            raise ValueError(f"backend must be one of {sorted(BACKENDS)}, "
+                             f"got {self.backend!r}")
 
 
 class SoC:

@@ -1,0 +1,167 @@
+"""Adversarial platform configs must be rejected loudly at construction.
+
+The architecture generator (repro.gen.arch) deliberately produces these
+corners; a config that would mis-simulate -- zero/negative frequencies,
+duplicate PE names, ragged meshes, unknown topologies/backends -- must
+raise ValueError when built, never produce silently wrong cycle counts
+or hop distances downstream.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.gen import build_adversarial, generate_adversarial_dicts
+from repro.manycore import (Machine, ManyCoreConfig, TOPOLOGIES,
+                            mesh_distance, ring_distance, torus_distance)
+from repro.maps.spec import PEClass, PESpec, PlatformSpec
+from repro.vp import SoCConfig
+
+ADVERSARIAL = generate_adversarial_dicts(random.Random("adversarial"))
+
+
+@pytest.mark.parametrize(
+    "entry", ADVERSARIAL,
+    ids=[f"{e['target']}-{e['defect'].replace(' ', '_').replace('/', '_')}"
+         for e in ADVERSARIAL])
+def test_generated_adversarial_config_rejected(entry):
+    with pytest.raises(ValueError):
+        build_adversarial(entry)
+
+
+class TestManyCoreConfigValidation:
+    def test_zero_and_negative_frequencies_rejected(self):
+        for bad in (0.0, -1.0, float("nan"), float("inf")):
+            with pytest.raises(ValueError):
+                ManyCoreConfig(n_cores=2, freqs=[1.0, bad])
+
+    def test_freq_count_must_match_core_count(self):
+        with pytest.raises(ValueError):
+            ManyCoreConfig(n_cores=3, freqs=[1.0, 1.0])
+
+    def test_non_rectangular_mesh_rejected(self):
+        with pytest.raises(ValueError, match="non-rectangular"):
+            ManyCoreConfig(n_cores=6, mesh_width=4)
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(ValueError, match="topology"):
+            ManyCoreConfig(n_cores=4, topology="hypercube")
+
+    def test_power_budget_must_cover_freqs(self):
+        with pytest.raises(ValueError, match="power budget"):
+            ManyCoreConfig(n_cores=2, freqs=[2.0, 2.0], power_budget=3.0)
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="unknown"):
+            ManyCoreConfig.from_dict({"n_cores": 2, "voltage": 1.2})
+        with pytest.raises(ValueError, match="n_cores"):
+            ManyCoreConfig.from_dict({})
+
+    def test_valid_config_builds_and_applies_freqs(self):
+        config = ManyCoreConfig(n_cores=4, mesh_width=2, topology="torus",
+                                freqs=[1.0, 2.0, 0.5, 4.0],
+                                local_memory_words=1 << 12)
+        machine = config.build()
+        assert [core.freq for core in machine.cores] == config.freqs
+        assert machine.topology == "torus"
+        assert all(core.local_memory_words == 1 << 12
+                   for core in machine.cores)
+        assert ManyCoreConfig.from_dict(config.to_dict()) == config
+
+
+class TestMachineValidation:
+    def test_explicit_ragged_mesh_rejected(self):
+        with pytest.raises(ValueError, match="non-rectangular"):
+            Machine(6, mesh_width=4)
+
+    def test_default_width_is_always_rectangular(self):
+        for n_cores in range(1, 30):
+            machine = Machine(n_cores)
+            assert n_cores % machine.mesh_width == 0
+        assert Machine(16).mesh_width == 4   # perfect squares unchanged
+        assert Machine(12).mesh_width == 3   # widest divisor <= isqrt
+        assert Machine(5).mesh_width == 1    # primes fall back to a row
+
+    def test_homogeneous_rejects_bad_freq(self):
+        with pytest.raises(ValueError):
+            Machine.homogeneous(2, freq=0.0)
+        with pytest.raises(ValueError):
+            Machine.homogeneous(2, freq=-1.5)
+
+    def test_heterogeneous_rejects_bad_freqs(self):
+        with pytest.raises(ValueError, match="freq"):
+            Machine.heterogeneous(4, {"isa0": 0.5, "isa1": 0.5},
+                                  freqs={"isa0": -2.0})
+
+    def test_bad_power_budget_rejected(self):
+        for bad in (0.0, -5.0, float("nan")):
+            with pytest.raises(ValueError):
+                Machine(2, power_budget=bad)
+
+    def test_topologies_change_hop_distances(self):
+        # 8 cores, 4 wide: corners are 3+1 hops apart on the mesh but
+        # wrap to 1+1 on the torus; the ring takes the shorter arc.
+        mesh = Machine(8, mesh_width=4, topology="mesh")
+        torus = Machine(8, mesh_width=4, topology="torus")
+        ring = Machine(8, topology="ring")
+        assert mesh.distance(0, 7) == 4
+        assert torus.distance(0, 7) == 2
+        assert ring.distance(0, 7) == 1
+        for machine in (mesh, torus, ring):
+            assert machine.distance(3, 3) == 0
+            assert machine.distance(1, 6) == machine.distance(6, 1)
+
+    def test_distance_helpers_agree_with_machines(self):
+        assert mesh_distance(0, 7, 4) == 4
+        assert torus_distance(0, 7, 4, 8) == 2
+        assert ring_distance(0, 7, 8) == 1
+        assert TOPOLOGIES == ("mesh", "torus", "ring")
+
+
+class TestPlatformSpecValidation:
+    def test_pe_freq_must_be_positive_finite(self):
+        for bad in (0.0, -1.0, float("inf"), float("nan")):
+            with pytest.raises(ValueError):
+                PESpec("pe0", PEClass.RISC, freq=bad)
+
+    def test_pe_name_must_be_nonempty_string(self):
+        with pytest.raises(ValueError):
+            PESpec("", PEClass.RISC)
+
+    def test_duplicate_pes_rejected_on_direct_construction(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            PlatformSpec(pes=[PESpec("pe0"), PESpec("pe0", freq=2.0)])
+
+    def test_duplicate_pes_rejected_via_from_dict(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            PlatformSpec.from_dict(
+                {"pes": [{"name": "pe0"}, {"name": "pe0"}]})
+
+    def test_zero_freq_rejected_via_from_dict(self):
+        with pytest.raises(ValueError, match="freq"):
+            PlatformSpec.from_dict({"pes": [{"name": "pe0", "freq": 0}]})
+
+    def test_negative_costs_rejected(self):
+        with pytest.raises(ValueError):
+            PlatformSpec(channel_setup_cost=-1.0)
+        with pytest.raises(ValueError):
+            PlatformSpec(scheduler_dispatch_cost=float("nan"))
+
+
+class TestSoCConfigValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"n_cores": 0}, {"n_cores": -2},
+        {"ram_words": 0}, {"ram_words": -1},
+        {"n_timers": -1}, {"n_semaphores": -1},
+        {"quantum": 0}, {"quantum": -64},
+        {"irq_vector": -5},
+        {"backend": "turbo"}, {"backend": ""},
+    ])
+    def test_bad_field_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            SoCConfig(**kwargs)
+
+    def test_valid_corners_accepted(self):
+        SoCConfig(n_cores=1, n_timers=0, n_semaphores=0, quantum=1)
+        SoCConfig(irq_vector=0, backend="vector")

@@ -186,3 +186,71 @@ class TestRandomChainSweep:
                                 quantum=quantum), {0: asm})
             soc.run()
             assert soc.mem(RESULT_ADDR) == model, f"backend {backend!r}"
+
+
+def iss_mod(a: int, b: int, backend: str = "fast",
+            quantum: int = 64) -> int:
+    """``a % b`` the way a compiler lowers it for this ISA (there is no
+    mod instruction): ``a - (a/b)*b`` -- each step wrapping to the
+    32-bit word.  This is exactly the lowering repro.gen.expr emits."""
+    asm = f"""
+        li r1, {a}
+        li r2, {b}
+        div r3, r1, r2
+        mul r3, r3, r2
+        sub r3, r1, r3
+        li r4, {RESULT_ADDR}
+        sw r3, 0(r4)
+        halt
+    """
+    soc = SoC(SoCConfig(n_cores=1, backend=backend, quantum=quantum),
+              {0: asm})
+    soc.run()
+    return soc.mem(RESULT_ADDR)
+
+
+MOD_CASES = [
+    (7, 3), (-7, 3), (7, -3), (-7, -3),          # sign matrix
+    (2 ** 31 - 1, 7), (-(2 ** 31), 7),           # word-edge dividends
+    (-(2 ** 31), 1), (-(2 ** 31), -1),           # INT_MIN % -1 -> 0
+    (2 ** 31 - 1, -(2 ** 31)),                   # |divisor| > |dividend|
+    (0, -5), (5, 2 ** 31 - 1),
+]
+
+
+class TestModLoweringDifferential:
+    """The `%` satellite: _c_mod's pinned corner semantics must match
+    the div/mul/sub lowering on every ISS backend."""
+
+    @pytest.mark.parametrize("a,b", MOD_CASES)
+    def test_mod_matches_lowering_on_every_backend(self, a, b):
+        expected = interp_binop("%", a, b)
+        for backend, quantum in BACKEND_RUNS:
+            assert iss_mod(a, b, backend, quantum) == expected, \
+                f"backend {backend!r}: {a} % {b}"
+
+    def test_int_min_mod_minus_one_is_zero(self):
+        # The pinned corner: INT_MIN / -1 wraps to INT_MIN (the _c_div
+        # convention), so the invariant a == (a/b)*b + a%b forces
+        # INT_MIN % -1 == 0 -- host Python would happily say 0 too, but
+        # only after the intermediate product wraps correctly.
+        assert interp_binop("%", -(2 ** 31), -1) == 0
+        for backend, quantum in BACKEND_RUNS:
+            assert iss_mod(-(2 ** 31), -1, backend, quantum) == 0
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_div_mod_invariant_on_the_word(self, seed):
+        # a == (a/b)*b + a%b, evaluated entirely in wrapped 32-bit
+        # arithmetic, for random word-scale operands on both paths.
+        rng = random.Random(0x30D + seed)
+        for _ in range(8):
+            a = rng.randint(-(2 ** 31), 2 ** 31 - 1)
+            b = rng.choice([rng.randint(-(2 ** 31), 2 ** 31 - 1),
+                            rng.choice([-2, -1, 1, 2, 3])])
+            if b == 0:
+                b = 1
+            quotient = interp_binop("/", a, b)
+            remainder = interp_binop("%", a, b)
+            assert _wrap32(_wrap32(quotient * b) + remainder) == a, \
+                (a, b, quotient, remainder)
+            assert iss_mod(a, b) == remainder, (a, b)

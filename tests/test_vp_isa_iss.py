@@ -343,3 +343,75 @@ class TestMultiCore:
             values.append(soc.mem(100))
         assert values[0] < 40          # updates were lost
         assert len(set(values)) == 1   # but deterministically so
+
+
+class TestImmediateRangeAudit:
+    """Assemble-time canonicalization: data immediates wrap to the
+    signed-32 word, control-flow targets are validated -- a fuzzed
+    program can never mean different things on different paths."""
+
+    def test_li_and_addi_wrap_at_assemble_time(self):
+        program = assemble(f"""
+            li r1, {2 ** 32 + 5}
+            addi r2, r0, {-(2 ** 32) - 7}
+            halt
+        """)
+        assert program.instructions[0].args == (1, 5)
+        assert program.instructions[1].args == (2, 0, -7)
+
+    def test_memory_offsets_wrap_at_assemble_time(self):
+        # A 2**32+12 offset is the same word as 12: the store must land
+        # at address 12 on every backend.
+        soc = run_core(f"""
+            li r1, 77
+            sw r1, {2 ** 32 + 12}(r0)
+            halt
+        """)
+        assert soc.mem(12) == 77
+
+    def test_swap_offset_wraps_like_lw_sw(self):
+        program = assemble(f"swap r1, {2 ** 32 + 3}(r2)\nhalt\n")
+        assert program.instructions[0].args == (1, 3, 2)
+
+    def test_word_directive_wraps_to_signed_32(self):
+        soc = run_core(f"""
+            lw r1, 64(r0)
+            sw r1, 10(r0)
+            halt
+            .org 64
+            .word {0xFFFFFFFF}
+        """)
+        assert soc.mem(10) == -1
+
+    def test_org_rejects_negative_address(self):
+        with pytest.raises(AsmError, match="negative"):
+            assemble(".org -4\n.word 1\n")
+
+    @pytest.mark.parametrize("target", [2 ** 31, -1, 2 ** 40])
+    def test_branch_targets_out_of_range_rejected(self, target):
+        with pytest.raises(AsmError, match="out of range"):
+            assemble(f"beq r0, r0, {target}\nhalt\n")
+
+    @pytest.mark.parametrize("op", ["jmp", "jal"])
+    def test_jump_targets_out_of_range_rejected(self, op):
+        with pytest.raises(AsmError, match="out of range"):
+            assemble(f"{op} {2 ** 31}\n")
+        with pytest.raises(AsmError, match="out of range"):
+            assemble(f"{op} -1\n")
+
+    def test_numeric_in_range_targets_still_work(self):
+        # Canonical instruction indices remain legal numeric operands.
+        soc = run_core("""
+            jmp 2
+            halt
+            li r1, 9
+            sw r1, 20(r0)
+            halt
+        """)
+        assert soc.mem(20) == 9
+
+    def test_out_of_program_target_still_faults_at_runtime(self):
+        # The audit rejects *unencodable* targets; a target past the end
+        # of this particular program is a runtime fault, as before.
+        with pytest.raises(RuntimeError, match="pc"):
+            run_core("jmp 100\n")
