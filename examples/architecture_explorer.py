@@ -58,12 +58,25 @@ def main() -> None:
     parser.add_argument("--jobs", type=int, default=None, metavar="N",
                         help="evaluate candidates on N farm workers")
     parser.add_argument("--cache", default=None, metavar="DIR",
-                        help="farm result-cache directory")
+                        help="farm result-cache directory (repeatable: "
+                             "first=local tier, later=shared tiers)",
+                        action="append")
+    parser.add_argument("--backend", default=None,
+                        choices=["inline", "fork", "daemon"],
+                        help="farm executor backend (default: auto)")
+    parser.add_argument("--shards", type=int, default=None, metavar="S",
+                        help="work-stealing shards over the job list")
     args = parser.parse_args()
     executor = None
-    if args.jobs is not None or args.cache is not None:
+    if args.jobs is not None or args.cache is not None \
+            or args.backend is not None or args.shards is not None:
         from repro.farm import Executor
-        executor = Executor(jobs=args.jobs or 1, cache_dir=args.cache)
+        cache = None
+        if args.cache:
+            cache = args.cache[0] if len(args.cache) == 1 else args.cache
+        executor = Executor(jobs=args.jobs or 1, cache=cache,
+                            backend=args.backend or "auto",
+                            shards=args.shards)
 
     print("Model in: 5-actor SDF audio path; CIC generated automatically")
     app = app_factory()
@@ -77,7 +90,8 @@ def main() -> None:
                                    executor=executor)
     if executor is not None:
         print(f"   (farm: {executor.jobs} worker(s), "
-              f"cache={executor.cache_dir or 'off'})\n")
+              f"backend={executor.resolved_backend()}, "
+              f"cache={'on' if executor.cache_tier() else 'off'})\n")
 
     pareto = {p.label for p in result.pareto}
     print(f"{'architecture':<14}{'HW cost':>8}{'end time':>10}   Pareto")

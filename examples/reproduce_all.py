@@ -112,8 +112,9 @@ def _merge_shard_results(shard_paths) -> None:
             handle.write("\n")
 
 
-def _run_benches_farm(jobs: int, quick: bool) -> int:
-    from repro.farm import Campaign, Executor
+def _run_benches_farm(jobs: int, quick: bool,
+                      backend: str = "auto") -> int:
+    from repro.farm import Campaign
 
     bench_files = sorted(
         os.path.relpath(path, _REPO) for path in
@@ -121,9 +122,9 @@ def _run_benches_farm(jobs: int, quick: bool) -> int:
     if not bench_files:
         print("no bench files found")
         return EXIT_SHAPE_REGRESSION
-    executor = Executor(jobs=jobs,
-                        cache_dir=os.environ.get("REPRO_FARM_CACHE"))
-    campaign = Campaign("reproduce-benches", executor=executor)
+    campaign = Campaign.build("reproduce-benches", jobs=jobs,
+                              backend=backend,
+                              cache=os.environ.get("REPRO_FARM_CACHE"))
     flags = _bench_flags(quick)
     for bench_file in bench_files:
         campaign.add(run_bench_shard,
@@ -171,13 +172,17 @@ def main() -> int:
                              "double-run overhead")
     parser.add_argument("--jobs", type=int, default=None, metavar="N",
                         help="shard bench files over N farm workers")
+    parser.add_argument("--backend", default="auto",
+                        choices=["auto", "inline", "fork", "daemon"],
+                        help="farm executor backend for --jobs runs")
     args = parser.parse_args()
 
     print("=" * 70)
     print("Reproducing every experiment (benchmarks/ -> EXPERIMENTS.md)")
     print("=" * 70)
     if args.jobs is not None:
-        status = _run_benches_farm(args.jobs, args.quick)
+        status = _run_benches_farm(args.jobs, args.quick,
+                                   backend=args.backend)
     else:
         status = _run_benches_serial(args.quick)
     if status != EXIT_OK:

@@ -10,15 +10,53 @@ entry point a downstream user would actually adopt:
   over sequential C, CIC task graphs, or stream pipelines;
 - :class:`~repro.core.flow.DesignFlow` -- routes an application through
   the right tool flow and returns a unified report;
-- :mod:`repro.core.metrics` -- common measurement helpers.
+- :mod:`repro.core.metrics` -- common measurement helpers;
+- :mod:`repro.core.serde` -- the one versioned serialization protocol
+  shared by cache entries, campaign manifests and backend wire frames.
 """
 
-from repro.core.application import Application, ApplicationKind
-from repro.core.platform import PlatformDescription
-from repro.core.flow import DesignFlow, UnifiedReport
-from repro.core.metrics import geometric_mean, speedup_curve, summarize_speedups
+# serde is dependency-free and imported eagerly; the design-flow facade
+# is resolved lazily (PEP 562) so low-level modules (maps.spec,
+# faults.plan, ...) can `from repro.core.serde import serde` without
+# dragging in -- or cycling through -- the whole tool-flow stack.
+from repro.core.serde import (
+    ReproDeprecationWarning, SerdeError, canonical_json, json_roundtrip,
+    serde, serde_tag,
+    dump as serde_dump, dumps as serde_dumps,
+    load as serde_load, loads as serde_loads,
+)
+
+_LAZY = {
+    "Application": ("repro.core.application", "Application"),
+    "ApplicationKind": ("repro.core.application", "ApplicationKind"),
+    "PlatformDescription": ("repro.core.platform", "PlatformDescription"),
+    "DesignFlow": ("repro.core.flow", "DesignFlow"),
+    "UnifiedReport": ("repro.core.flow", "UnifiedReport"),
+    "geometric_mean": ("repro.core.metrics", "geometric_mean"),
+    "speedup_curve": ("repro.core.metrics", "speedup_curve"),
+    "summarize_speedups": ("repro.core.metrics", "summarize_speedups"),
+}
+
+
+def __getattr__(name):
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro.core' has no attribute {name!r}")
+    from importlib import import_module
+    value = getattr(import_module(module_name), attr)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY))
+
 
 __all__ = [
     "Application", "ApplicationKind", "DesignFlow", "PlatformDescription",
-    "UnifiedReport", "geometric_mean", "speedup_curve", "summarize_speedups",
+    "ReproDeprecationWarning", "SerdeError", "UnifiedReport",
+    "canonical_json", "geometric_mean", "json_roundtrip", "serde",
+    "serde_dump", "serde_dumps", "serde_load", "serde_loads", "serde_tag",
+    "speedup_curve", "summarize_speedups",
 ]

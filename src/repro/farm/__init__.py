@@ -1,22 +1,35 @@
 """repro.farm -- deterministic parallel campaign engine.
 
 Shards batches of named pure functions (``fn(config, seed) -> result``)
-across worker processes with content-addressed result caching, per-job
-timeout/retry/crash containment, and ordered byte-identical aggregation:
-a parallel campaign's aggregate equals the serial one bit-for-bit.
+across pluggable execution backends -- the in-process oracle, fork
+pools, persistent worker daemons -- with tiered content-addressed
+result caching, per-job timeout/retry/crash containment, optional
+work-stealing shard scheduling, and ordered byte-identical aggregation:
+every backend combination's aggregate equals the serial one
+bit-for-bit.
 
-    from repro.farm import Campaign, Executor
+    from repro.farm import Campaign
 
-    campaign = Campaign("sweep", executor=Executor(jobs=4,
-                                                   cache_dir=".farm"))
+    campaign = Campaign.build("sweep", jobs=4, backend="daemon",
+                              cache=".farm")
     for seed in range(16):
         campaign.add(evaluate_point, config={"p": 0.1}, seed=seed)
     result = campaign.run().raise_on_failure()
     print(result.aggregate_json())
 """
 
-from repro.farm.cache import ResultCache
-from repro.farm.engine import Campaign, CampaignResult, Executor, run_campaign
+from repro.farm.backends import (
+    BackendCapabilities, Completion, DaemonBackend, ExecutorBackend,
+    ForkPoolBackend, InlineBackend, fork_available, make_backend,
+    require_fork, shutdown_daemons,
+)
+from repro.farm.cache import (
+    CacheTier, ResultCache, SharedDirectoryCache, TieredCache,
+    as_cache_tier,
+)
+from repro.farm.engine import (
+    Campaign, CampaignResult, Executor, resolve_executor, run_campaign,
+)
 from repro.farm.job import (
     FAILURE_CRASH, FAILURE_ERROR, FAILURE_TIMEOUT, Job, JobFailure,
     JobOutcome, canonical_json, func_ref, job_key, json_roundtrip,
@@ -24,9 +37,12 @@ from repro.farm.job import (
 )
 
 __all__ = [
-    "Campaign", "CampaignResult", "Executor", "run_campaign",
-    "ResultCache", "Job", "JobFailure", "JobOutcome",
+    "BackendCapabilities", "Campaign", "CampaignResult", "CacheTier",
+    "Completion", "DaemonBackend", "Executor", "ExecutorBackend",
     "FAILURE_CRASH", "FAILURE_ERROR", "FAILURE_TIMEOUT",
-    "canonical_json", "func_ref", "job_key", "json_roundtrip",
-    "resolve_ref", "source_salt",
+    "ForkPoolBackend", "InlineBackend", "Job", "JobFailure", "JobOutcome",
+    "ResultCache", "SharedDirectoryCache", "TieredCache", "as_cache_tier",
+    "canonical_json", "fork_available", "func_ref", "job_key",
+    "json_roundtrip", "make_backend", "require_fork", "resolve_executor",
+    "resolve_ref", "run_campaign", "shutdown_daemons", "source_salt",
 ]

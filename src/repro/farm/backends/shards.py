@@ -1,0 +1,117 @@
+"""Work-stealing shard scheduler for heterogeneous job durations.
+
+A campaign's jobs are rarely uniform: a fuzz sweep mixes multi-second
+shrink jobs with near-free cache probes, and a static partition of such
+a mix leaves some workers idle while one grinds through the expensive
+shard.  This planner sits *between* the ordered job list and whichever
+backend executes it:
+
+- the pending jobs are split into ``shards`` contiguous chunks (chunk
+  boundaries follow submission order, so related jobs stay together and
+  a shard is a meaningful unit of locality);
+- each worker slot has a *home shard* (``slot % shards``) it drains
+  from the head, preserving submission order within the shard;
+- a slot whose home runs dry *steals from the tail* of the most-loaded
+  shard (ties break to the lowest shard id) -- tail-stealing takes the
+  work a lagging home slot would reach last, which is the classic way
+  to keep steals rare and cheap;
+- requeued jobs (timeout/crash retries) go back to their home shard.
+
+``steal=False`` models a static partition for comparison (and for the
+makespan bench); the default single-shard planner is byte-for-byte the
+engine's original FIFO order.
+
+Determinism: the planner chooses only *execution order*; aggregation is
+by submission slot, so stolen, static and FIFO schedules all produce
+identical aggregate bytes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence
+
+from repro.farm.job import JobOutcome
+
+
+class JobPlanner:
+    """Hands pending outcomes to worker slots; single shared FIFO."""
+
+    def __init__(self, pending: Sequence[JobOutcome]) -> None:
+        self._queue: Deque[JobOutcome] = deque(pending)
+
+    @property
+    def remaining(self) -> int:
+        return len(self._queue)
+
+    def take(self, slot: int) -> Optional[JobOutcome]:
+        if not self._queue:
+            return None
+        return self._queue.popleft()
+
+    def requeue(self, outcome: JobOutcome) -> None:
+        self._queue.append(outcome)
+
+    def stats(self) -> Dict[str, int]:
+        return {"shards": 1, "steals": 0}
+
+
+class ShardedPlanner(JobPlanner):
+    """Contiguous shards with optional tail-stealing rebalancing."""
+
+    def __init__(self, pending: Sequence[JobOutcome], shards: int,
+                 width: int, steal: bool = True) -> None:
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        if shards > width:
+            raise ValueError(
+                f"shards={shards} exceeds worker width {width}: every "
+                f"shard needs a home slot or its jobs would starve")
+        self.steal = bool(steal)
+        self.shards: List[Deque[JobOutcome]] = [deque()
+                                                for _ in range(shards)]
+        self._home: Dict[int, int] = {}
+        self.steals = 0
+        total = len(pending)
+        base, extra = divmod(total, shards)
+        cursor = 0
+        for shard_id in range(shards):
+            size = base + (1 if shard_id < extra else 0)
+            for outcome in pending[cursor:cursor + size]:
+                self.shards[shard_id].append(outcome)
+                self._home[outcome.index] = shard_id
+            cursor += size
+
+    @property
+    def remaining(self) -> int:
+        return sum(len(shard) for shard in self.shards)
+
+    def take(self, slot: int) -> Optional[JobOutcome]:
+        home = self.shards[slot % len(self.shards)]
+        if home:
+            return home.popleft()
+        if not self.steal:
+            return None
+        victim = max(self.shards, key=len)
+        if not victim:
+            return None
+        self.steals += 1
+        return victim.pop()
+
+    def requeue(self, outcome: JobOutcome) -> None:
+        shard_id = self._home.get(outcome.index, 0)
+        self.shards[shard_id].append(outcome)
+
+    def stats(self) -> Dict[str, int]:
+        return {"shards": len(self.shards), "steals": self.steals}
+
+
+def make_planner(pending: Sequence[JobOutcome], width: int,
+                 shards: Optional[int], steal: bool = True) -> JobPlanner:
+    """The planner for one drain: FIFO unless sharding was requested."""
+    if shards is None or shards <= 1:
+        return JobPlanner(pending)
+    return ShardedPlanner(pending, shards, width, steal=steal)
+
+
+__all__ = ["JobPlanner", "ShardedPlanner", "make_planner"]

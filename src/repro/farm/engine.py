@@ -1,18 +1,22 @@
-"""The campaign engine: deterministic multi-process job execution.
+"""The campaign engine: deterministic job execution over pluggable backends.
 
-A :class:`Campaign` shards its jobs across a ``ProcessPoolExecutor``
-(``jobs=1`` is the in-process reference path -- no pool, no pickling,
-same cache, same aggregation) and guarantees:
+A :class:`Campaign` dispatches its jobs through an
+:class:`~repro.farm.backends.ExecutorBackend` -- the in-process
+``inline`` oracle, the per-campaign ``fork`` pool, or persistent
+``daemon`` workers -- optionally scheduled through work-stealing shards
+(:mod:`repro.farm.backends.shards`), and guarantees:
 
 - **ordered aggregation** -- outcomes are merged in job-submission
-  order, so a parallel campaign's aggregate is byte-identical to the
-  serial one no matter which worker finished first;
+  order, so any backend/shard combination's aggregate is byte-identical
+  to the serial one no matter which worker finished first;
 - **content-addressed caching** -- completed points are skipped on
-  re-runs and resumed sweeps (see :mod:`repro.farm.cache`);
+  re-runs and resumed sweeps, through any :class:`CacheTier` stack
+  (see :mod:`repro.farm.cache`);
 - **failure containment** -- a job that raises, exceeds its timeout or
   takes its worker down yields a structured :class:`JobFailure` in its
-  submission slot (crashed workers are replaced by rebuilding the
-  pool); the rest of the sweep completes;
+  submission slot (crashed workers are replaced; unattributable pool
+  breaks re-run every suspect in isolation); the rest of the sweep
+  completes;
 - **observability** -- per-job ``farm.*`` counters and histograms plus
   progress instants into any obs sink.  These are wall-clock
   operational telemetry and deliberately *outside* the determinism
@@ -21,64 +25,65 @@ same cache, same aggregation) and guarantees:
 Normalization rule: every result -- freshly computed, worker-returned
 or cache-rehydrated -- passes through one JSON round-trip before it
 enters an outcome, so all three are indistinguishable and
-``CampaignResult.aggregate_json()`` is byte-identical across
-``jobs=1``, ``jobs=N`` and warm-cache re-runs.
+``CampaignResult.aggregate_json()`` is byte-identical across backends,
+worker counts, shard schedules and warm-cache re-runs.
+
+The one construction surface is ``Campaign.build(...)`` /
+``Campaign.resume(...)``; ``run_campaign`` and ``Campaign.from_manifest``
+survive as thin delegates that raise
+:class:`~repro.core.serde.ReproDeprecationWarning` (see DESIGN.md for
+the removal schedule).
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import time
-import traceback
-from collections import deque
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from concurrent.futures.process import BrokenProcessPool
+import warnings
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
-from repro.farm.cache import ResultCache
+from repro.core.serde import ReproDeprecationWarning
+from repro.farm.backends import (
+    STATUS_CRASH, STATUS_ERROR, STATUS_OK, STATUS_SUSPECT,
+    ExecutorBackend, make_backend, require_fork,
+)
+from repro.farm.backends.base import execute_payload as _execute_payload
+from repro.farm.backends.shards import JobPlanner, make_planner
+from repro.farm.cache import CacheLike, CacheTier, as_cache_tier
 from repro.farm.job import (
     FAILURE_CRASH, FAILURE_ERROR, FAILURE_TIMEOUT, Job, JobFailure,
     JobOutcome, canonical_json, json_roundtrip, resolve_ref, source_salt,
 )
 from repro.obs.metrics import MetricsRegistry
 
-
-def _execute_payload(payload: Tuple[str, Any, int]) -> Tuple[str, Any, float]:
-    """Worker-side entry: resolve the function by name and run it.
-
-    Returns ``("ok", result, elapsed)`` or ``("error", message, elapsed)``;
-    never raises, so the only way a future fails is the worker dying.
-    """
-    ref, config, seed = payload
-    start = time.perf_counter()
-    try:
-        fn = resolve_ref(ref)
-        result = fn(config, seed)
-        canonical_json(result)  # non-JSON results must fail here, loudly
-        return ("ok", result, time.perf_counter() - start)
-    except BaseException as error:  # noqa: BLE001 -- structured, not lost
-        tail = traceback.format_exc(limit=3).strip().splitlines()[-1]
-        message = f"{type(error).__name__}: {error}"
-        if tail and tail not in message:
-            message = f"{message} [{tail}]"
-        return ("error", message, time.perf_counter() - start)
+_BACKEND_NAMES = ("auto", "inline", "fork", "daemon")
 
 
 @dataclass
 class Executor:
-    """Execution policy for campaigns: how wide, how patient, where the
-    cache lives, and which obs sink/metrics receive farm telemetry.
+    """Execution policy for campaigns: which backend, how wide, how
+    patient, where the cache lives, and which obs sink/metrics receive
+    farm telemetry.
 
-    ``jobs=1`` (the default) is the in-process reference path; any
-    ``jobs>1`` requires every job function -- and every function named
-    inside job configs -- to be a module-level importable function.
+    ``jobs=1`` (the default) resolves to the in-process reference
+    backend; any multi-process backend requires every job function --
+    and every function named inside job configs -- to be a module-level
+    importable function.
+
+    ``cache`` accepts anything :func:`repro.farm.cache.as_cache_tier`
+    does: a directory path, a ready :class:`CacheTier`, or a list of
+    tiers (local first, shared/remote last).  ``cache_dir`` is the
+    legacy spelling of a single local path and is kept as an alias.
     """
 
     jobs: int = 1
-    cache_dir: Optional[str] = None
+    backend: str = "auto"             # auto | inline | fork | daemon
+    cache: CacheLike = None
+    cache_dir: Optional[str] = None   # legacy alias for cache=<path>
     timeout: Optional[float] = None   # wall seconds per job attempt
     retries: int = 1                  # extra attempts after a failure
+    shards: Optional[int] = None      # work-stealing shards (None = FIFO)
+    steal: bool = True                # False = static shard partition
     sink: Optional[Any] = None
     metrics: Optional[MetricsRegistry] = None
     salt: str = ""                    # campaign-level cache salt
@@ -90,9 +95,69 @@ class Executor:
             raise ValueError(f"retries must be >= 0, got {self.retries}")
         if self.timeout is not None and self.timeout <= 0:
             raise ValueError(f"timeout must be > 0, got {self.timeout}")
+        if self.backend not in _BACKEND_NAMES:
+            raise ValueError(f"unknown backend {self.backend!r} "
+                             f"(expected one of {_BACKEND_NAMES})")
+        if self.shards is not None and self.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {self.shards}")
+        if self.cache is not None and self.cache_dir is not None:
+            raise ValueError("give either cache= or the legacy "
+                             "cache_dir=, not both")
+
+    # ------------------------------------------------------------------
+    def resolved_backend(self) -> str:
+        """The concrete backend name ``auto`` resolves to."""
+        if self.backend != "auto":
+            return self.backend
+        return "inline" if self.jobs <= 1 else "fork"
+
+    def width(self) -> int:
+        """Worker slots the resolved backend will run."""
+        return 1 if self.resolved_backend() == "inline" else self.jobs
+
+    def cache_tier(self) -> Optional[CacheTier]:
+        """The composed cache stack (None when caching is off)."""
+        spec = self.cache if self.cache is not None else self.cache_dir
+        return as_cache_tier(spec)
 
     def campaign(self, name: str = "campaign") -> "Campaign":
         return Campaign(name, executor=self)
+
+
+def resolve_executor(executor: Optional[Executor] = None, *,
+                     jobs: Optional[int] = None,
+                     backend: Optional[str] = None,
+                     cache: CacheLike = None,
+                     timeout: Optional[float] = None,
+                     retries: Optional[int] = None,
+                     shards: Optional[int] = None,
+                     steal: Optional[bool] = None,
+                     salt: Optional[str] = None,
+                     sink: Optional[Any] = None,
+                     metrics: Optional[MetricsRegistry] = None,
+                     ) -> Optional[Executor]:
+    """The uniform ``executor=``/``jobs=``/``cache=`` merge every
+    campaign surface uses.
+
+    Returns ``None`` when nothing was requested (callers keep their
+    serial fast paths); otherwise merges the keyword overrides onto
+    ``executor`` (or a fresh default one).  A ``cache=`` override on an
+    executor that carried a legacy ``cache_dir`` replaces it.
+    """
+    overrides: Dict[str, Any] = {}
+    for key, value in (("jobs", jobs), ("backend", backend),
+                       ("cache", cache), ("timeout", timeout),
+                       ("retries", retries), ("shards", shards),
+                       ("steal", steal), ("salt", salt), ("sink", sink),
+                       ("metrics", metrics)):
+        if value is not None:
+            overrides[key] = value
+    if executor is None and not overrides:
+        return None
+    base = executor if executor is not None else Executor()
+    if "cache" in overrides and base.cache_dir is not None:
+        overrides.setdefault("cache_dir", None)
+    return replace(base, **overrides) if overrides else base
 
 
 @dataclass
@@ -128,8 +193,8 @@ class CampaignResult:
 
     def aggregate_json(self) -> str:
         """The deterministic aggregate: canonical JSON of the ordered
-        result list.  Bit-for-bit identical across worker counts and
-        across cold/warm cache runs."""
+        result list.  Bit-for-bit identical across backends, worker
+        counts, shard schedules and cold/warm cache runs."""
         return canonical_json(self.results)
 
     def raise_on_failure(self) -> "CampaignResult":
@@ -154,7 +219,13 @@ class CampaignResult:
 
 
 class Campaign:
-    """An ordered batch of jobs plus the policy to run them."""
+    """An ordered batch of jobs plus the policy to run them.
+
+    Construct through :meth:`build` (one surface for every knob), add
+    jobs with :meth:`add`/:meth:`extend`, execute with :meth:`run`;
+    :meth:`resume` rebuilds and re-runs an interrupted campaign from its
+    cache-persisted manifest.
+    """
 
     def __init__(self, name: str = "campaign",
                  executor: Optional[Executor] = None) -> None:
@@ -164,14 +235,88 @@ class Campaign:
         self._salts: Dict[str, str] = {}
 
     # ------------------------------------------------------------------
+    # the one construction surface
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, name: str = "campaign", *,
+              executor: Optional[Executor] = None,
+              resume_from: CacheLike = None,
+              jobs: Optional[int] = None,
+              backend: Optional[str] = None,
+              cache: CacheLike = None,
+              timeout: Optional[float] = None,
+              retries: Optional[int] = None,
+              shards: Optional[int] = None,
+              steal: Optional[bool] = None,
+              salt: Optional[str] = None,
+              sink: Optional[Any] = None,
+              metrics: Optional[MetricsRegistry] = None) -> "Campaign":
+        """Build a campaign from an executor and/or individual knobs.
+
+        Keyword overrides win over the ``executor`` baseline.  With
+        ``resume_from=<cache>``, the job list, name and cache salt are
+        rebuilt from the manifest that an earlier :meth:`run` persisted
+        in that cache -- the cache and salt then always come from the
+        manifest side so the content-addressed key set cannot drift,
+        while execution policy (jobs/backend/timeout/...) remains fully
+        overridable.
+        """
+        resolved = resolve_executor(
+            executor, jobs=jobs, backend=backend, cache=cache,
+            timeout=timeout, retries=retries, shards=shards, steal=steal,
+            salt=salt, sink=sink, metrics=metrics)
+        if resume_from is None:
+            return cls(name, executor=resolved)
+        tier = as_cache_tier(resume_from)
+        manifest = tier.load_manifest(name)
+        resolved = replace(resolved if resolved is not None else Executor(),
+                           cache=tier, cache_dir=None,
+                           salt=manifest["salt"])
+        campaign = cls(name, executor=resolved)
+        for spec in manifest["jobs"]:
+            campaign.add(resolve_ref(spec["ref"]), config=spec["config"],
+                         seed=spec["seed"], name=spec["name"])
+        return campaign
+
+    @classmethod
+    def resume(cls, cache: CacheLike, name: str = "campaign",
+               executor: Optional[Executor] = None,
+               **policy: Any) -> CampaignResult:
+        """Resume an interrupted campaign: rebuild it from the persisted
+        manifest and run it against the same cache.
+
+        Completed shards are cache hits and are skipped; only the
+        incomplete remainder executes.  The aggregate is byte-identical
+        to a never-interrupted run (the normalization rule makes cached
+        and fresh results indistinguishable).  ``executor`` and/or
+        policy keywords (``jobs=``, ``backend=``, ``timeout=``, ...)
+        override execution policy -- the cache and salt always come from
+        the manifest so the key set cannot drift.
+        """
+        return cls.build(name, executor=executor, resume_from=cache,
+                         **policy).run()
+
+    @classmethod
+    def from_manifest(cls, cache_dir: str, name: str = "campaign",
+                      executor: Optional[Executor] = None) -> "Campaign":
+        """Deprecated alias: use ``Campaign.build(name,
+        resume_from=cache_dir, ...)``."""
+        warnings.warn(
+            "Campaign.from_manifest() is deprecated; use "
+            "Campaign.build(name, resume_from=<cache>) instead",
+            ReproDeprecationWarning, stacklevel=2)
+        return cls.build(name, executor=executor, resume_from=cache_dir)
+
+    # ------------------------------------------------------------------
     def add(self, fn: Callable[[Any, int], Any], config: Any = None,
             seed: int = 0, name: Optional[str] = None) -> Job:
         """Submit one job; submission order is aggregation order."""
         job = Job.build(fn, config=config, seed=seed, name=name)
-        if self.executor.jobs > 1:
-            # Multi-process campaigns must be able to re-import the
-            # function by name inside a worker; fail at submission, not
-            # at the bottom of a 4-worker sweep.
+        if self.executor.resolved_backend() != "inline":
+            # Multi-process campaigns must be able to fork workers and
+            # re-import the function by name inside them; fail at
+            # submission, not at the bottom of a 4-worker sweep.
+            require_fork("a multi-process campaign backend")
             resolve_ref(job.ref)
         self.jobs.append(job)
         return job
@@ -200,39 +345,6 @@ class Campaign:
                      for job in self.jobs],
         }
 
-    @classmethod
-    def from_manifest(cls, cache_dir: str, name: str = "campaign",
-                      executor: Optional[Executor] = None) -> "Campaign":
-        """Rebuild a campaign from the manifest persisted in the result
-        cache by a previous :meth:`run` -- same name, same ordered job
-        list, same cache salt, hence the same content-addressed keys.
-        """
-        manifest = ResultCache(cache_dir).load_manifest(name)
-        executor = executor if executor is not None else Executor()
-        executor = replace(executor, cache_dir=cache_dir,
-                           salt=manifest["salt"])
-        campaign = cls(name, executor=executor)
-        for spec in manifest["jobs"]:
-            campaign.add(resolve_ref(spec["ref"]), config=spec["config"],
-                         seed=spec["seed"], name=spec["name"])
-        return campaign
-
-    @classmethod
-    def resume(cls, cache_dir: str, name: str = "campaign",
-               executor: Optional[Executor] = None) -> CampaignResult:
-        """Resume an interrupted campaign: rebuild it from the persisted
-        manifest and run it against the same cache.
-
-        Completed shards are cache hits and are skipped; only the
-        incomplete remainder executes.  The aggregate is byte-identical
-        to a never-interrupted run (the normalization rule makes cached
-        and fresh results indistinguishable).  ``executor`` optionally
-        overrides execution policy (width, timeout, retries) -- the
-        cache directory and salt always come from the manifest so the
-        key set cannot drift.
-        """
-        return cls.from_manifest(cache_dir, name, executor).run()
-
     def run(self) -> CampaignResult:
         """Execute every job (cache permitting) and aggregate in order."""
         executor = self.executor
@@ -240,8 +352,7 @@ class Campaign:
             else MetricsRegistry()
         sink = executor.sink
         started = time.perf_counter()
-        cache = ResultCache(executor.cache_dir) \
-            if executor.cache_dir else None
+        cache = executor.cache_tier()
         if cache is not None:
             # Persist the campaign manifest *before* dispatching any
             # work: a crash/SIGKILL/pool-break mid-sweep leaves behind
@@ -265,15 +376,11 @@ class Campaign:
             pending.append(outcome)
 
         if pending:
-            if executor.jobs <= 1:
-                self._run_inline(pending, cache, metrics, sink,
-                                 len(outcomes))
-            else:
-                self._run_pool(pending, cache, metrics, sink,
-                               len(outcomes))
+            self._run_backend(pending, cache, metrics, sink,
+                              len(outcomes))
 
         result = CampaignResult(self.name, outcomes,
-                                workers=executor.jobs,
+                                workers=executor.width(),
                                 wall_seconds=time.perf_counter() - started)
         if sink is not None:
             sink.instant("farm.campaign", track="farm",
@@ -282,7 +389,7 @@ class Campaign:
 
     # ------------------------------------------------------------------
     def _complete(self, outcome: JobOutcome, result: Any, elapsed: float,
-                  cache: Optional[ResultCache], metrics: MetricsRegistry,
+                  cache: Optional[CacheTier], metrics: MetricsRegistry,
                   sink: Optional[Any], total: int, done: int) -> None:
         outcome.result = json_roundtrip(result)
         outcome.elapsed = elapsed
@@ -318,193 +425,174 @@ class Campaign:
                          total=total, campaign=self.name)
 
     # ------------------------------------------------------------------
-    # in-process reference path
+    # the generic backend loop
     # ------------------------------------------------------------------
-    def _run_inline(self, pending: List[JobOutcome],
-                    cache: Optional[ResultCache],
-                    metrics: MetricsRegistry, sink: Optional[Any],
-                    total: int) -> None:
-        done = total - len(pending)
-        for outcome in pending:
-            outcome.attempts = 1
-            start = time.perf_counter()
-            done += 1
-            try:
-                result = outcome.job.fn(outcome.job.config,
-                                        outcome.job.seed)
-                canonical_json(result)
-            except BaseException as error:  # noqa: BLE001
-                metrics.counter("farm.errors").inc()
-                self._fail(outcome, FAILURE_ERROR,
-                           f"{type(error).__name__}: {error}", metrics,
-                           sink, total, done)
-                continue
-            self._complete(outcome, result, time.perf_counter() - start,
-                           cache, metrics, sink, total, done)
-
-    # ------------------------------------------------------------------
-    # multi-process path
-    # ------------------------------------------------------------------
-    @staticmethod
-    def _make_pool(workers: int) -> ProcessPoolExecutor:
-        # Prefer fork where available: workers inherit imported modules,
-        # so job functions defined in scripts and test modules resolve.
-        methods = multiprocessing.get_all_start_methods()
-        context = multiprocessing.get_context("fork") \
-            if "fork" in methods else None
-        return ProcessPoolExecutor(max_workers=workers, mp_context=context)
-
-    @staticmethod
-    def _teardown_pool(pool: ProcessPoolExecutor) -> None:
-        """Tear a pool down without waiting on hung or dead workers."""
-        processes = list(getattr(pool, "_processes", {}).values())
-        pool.shutdown(wait=False, cancel_futures=True)
-        for process in processes:
-            try:
-                process.terminate()
-            except (OSError, ValueError, AttributeError):
-                pass
-
-    def _run_pool(self, pending: List[JobOutcome],
-                  cache: Optional[ResultCache], metrics: MetricsRegistry,
-                  sink: Optional[Any], total: int) -> None:
-        queue = deque(pending)
+    def _run_backend(self, pending: List[JobOutcome],
+                     cache: Optional[CacheTier],
+                     metrics: MetricsRegistry, sink: Optional[Any],
+                     total: int) -> None:
+        executor = self.executor
+        kind = executor.resolved_backend()
+        width = executor.width()
+        planner = make_planner(pending, width, executor.shards,
+                               steal=executor.steal)
         state = {"done": total - len(pending)}
-        while queue:
-            suspects = self._drain(queue, self.executor.jobs, cache,
-                                   metrics, sink, total, state)
-            # A multi-job pool break cannot attribute blame, so the
-            # interrupted jobs come back as suspects with their attempt
-            # refunded.  Re-run each alone: in a width-1 pool a crash is
-            # attributable, so the guilty job is charged and retried or
-            # failed without starving its innocent siblings.
-            for suspect in suspects:
-                solo = deque([suspect])
-                self._drain(solo, 1, cache, metrics, sink, total, state)
+        suspects = self._drive(planner, kind, width, cache, metrics,
+                               sink, total, state)
+        # A multi-job pool break cannot attribute blame, so the
+        # interrupted jobs come back as suspects with their attempt
+        # refunded.  Re-run each alone: at width 1 a crash is
+        # attributable, so the guilty job is charged and retried or
+        # failed without starving its innocent siblings.
+        while suspects:
+            suspect = suspects.pop(0)
+            solo = JobPlanner([suspect])
+            suspects.extend(self._drive(solo, kind, 1, cache, metrics,
+                                        sink, total, state))
 
-    def _drain(self, queue: "deque[JobOutcome]", width: int,
-               cache: Optional[ResultCache], metrics: MetricsRegistry,
+    def _drive(self, planner: JobPlanner, kind: str, width: int,
+               cache: Optional[CacheTier], metrics: MetricsRegistry,
                sink: Optional[Any], total: int,
                state: Dict[str, int]) -> List[JobOutcome]:
-        """Run jobs from ``queue`` on pools of ``width`` workers until
-        the queue drains, rebuilding the pool after timeouts and
-        attributable crashes.  Returns the interrupted jobs of an
-        *unattributable* pool break (attempts refunded, submission
-        order) for isolated re-execution; ``[]`` once the queue is
-        empty."""
-        executor = self.executor
-        max_attempts = executor.retries + 1
+        """Run the planner's jobs on one backend until it drains.
 
-        def retry_or_fail(outcome: JobOutcome, kind: str,
+        Returns the interrupted jobs of an *unattributable* pool break
+        (attempts refunded, submission order) for isolated
+        re-execution; ``[]`` once the planner is empty."""
+        executor = self.executor
+        backend = make_backend(kind, width)
+        in_process = backend.capabilities.in_process
+        # The in-process oracle executes exactly once per job: there is
+        # no crash or timeout to retry around, and an error is an error.
+        max_attempts = 1 if in_process else executor.retries + 1
+        enforce_timeout = executor.timeout is not None and not in_process
+
+        def retry_or_fail(outcome: JobOutcome, kind_: str,
                           message: str) -> None:
             if outcome.attempts < max_attempts:
                 metrics.counter("farm.jobs.retried").inc()
-                queue.append(outcome)
+                planner.requeue(outcome)
             else:
                 state["done"] += 1
-                self._fail(outcome, kind, message, metrics, sink, total,
+                self._fail(outcome, kind_, message, metrics, sink, total,
                            state["done"])
 
-        while queue:
-            pool = self._make_pool(width)
-            rebuild = False
-            in_flight: Dict[Any, Tuple[JobOutcome, float]] = {}
-            try:
-                while (queue or in_flight) and not rebuild:
-                    while queue and len(in_flight) < width:
-                        outcome = queue.popleft()
-                        outcome.attempts += 1
-                        job = outcome.job
-                        future = pool.submit(
-                            _execute_payload,
-                            (job.ref, job.config, job.seed))
-                        in_flight[future] = (outcome, time.monotonic())
-
-                    wait_timeout = None
-                    if executor.timeout is not None:
-                        now = time.monotonic()
-                        deadlines = [start + executor.timeout - now
-                                     for _, start in in_flight.values()]
-                        wait_timeout = max(min(deadlines), 0.01)
-                    finished, _ = wait(set(in_flight), timeout=wait_timeout,
-                                       return_when=FIRST_COMPLETED)
-
-                    broken: List[JobOutcome] = []
-                    for future in finished:
-                        outcome, _start = in_flight.pop(future)
-                        try:
-                            status, payload, elapsed = future.result()
-                        except BrokenProcessPool:
-                            # Completed siblings in this same batch keep
-                            # their results; only the interrupted ones
-                            # are collected.
-                            broken.append(outcome)
-                            continue
-                        if status == "ok":
-                            state["done"] += 1
-                            self._complete(outcome, payload, elapsed,
-                                           cache, metrics, sink, total,
-                                           state["done"])
-                        else:
-                            metrics.counter("farm.errors").inc()
-                            retry_or_fail(outcome, FAILURE_ERROR, payload)
-
-                    if broken:
-                        metrics.counter("farm.crashes").inc()
-                        if len(broken) == 1 and not in_flight:
-                            # Alone in the pool: blame is certain.
-                            retry_or_fail(broken[0], FAILURE_CRASH,
-                                          "worker process died")
-                            rebuild = True
-                            continue
-                        suspects = broken + [o for o, _ in
-                                             in_flight.values()]
-                        in_flight.clear()
-                        for suspect in suspects:
-                            suspect.attempts -= 1
-                        return sorted(suspects, key=lambda o: o.index)
-
-                    if executor.timeout is None:
+        suspects: List[JobOutcome] = []
+        in_flight: Dict[int, Tuple[JobOutcome, int, float]] = {}
+        free_slots: List[int] = list(range(width))
+        try:
+            while planner.remaining or in_flight:
+                for slot in list(free_slots):
+                    if not planner.remaining:
+                        break
+                    outcome = planner.take(slot)
+                    if outcome is None:
+                        # Static shards: this slot's home shard is dry
+                        # and stealing is off; it idles until a retry
+                        # lands back home.
                         continue
+                    free_slots.remove(slot)
+                    outcome.attempts += 1
+                    backend.submit(outcome.index, outcome.job)
+                    in_flight[outcome.index] = (outcome, slot,
+                                                time.monotonic())
+
+                if not in_flight:
+                    if planner.remaining:
+                        raise RuntimeError(
+                            f"campaign {self.name!r}: planner starved "
+                            f"with {planner.remaining} job(s) remaining")
+                    break
+
+                wait_timeout = None
+                if enforce_timeout:
                     now = time.monotonic()
-                    expired = [(future, outcome)
-                               for future, (outcome, start)
-                               in in_flight.items()
-                               if now - start >= executor.timeout]
-                    if not expired:
+                    deadlines = [start + executor.timeout - now
+                                 for _, _, start in in_flight.values()]
+                    wait_timeout = max(min(deadlines), 0.01)
+                completions = backend.drain(wait_timeout)
+
+                crashed = False
+                for completion in completions:
+                    entry = in_flight.pop(completion.tag, None)
+                    if entry is None:
                         continue
-                    # Hung workers cannot be cancelled individually:
-                    # replace the pool.  The expired jobs are charged;
-                    # innocent in-flight siblings are requeued with
-                    # their interrupted attempt refunded.
-                    for future, outcome in expired:
-                        in_flight.pop(future, None)
-                        metrics.counter("farm.timeouts").inc()
-                        if outcome.attempts < max_attempts:
-                            # This timed-out job gets another attempt
-                            # after the pool teardown below.
-                            metrics.counter("farm.retries").inc()
-                        retry_or_fail(
-                            outcome, FAILURE_TIMEOUT,
-                            f"exceeded {executor.timeout:g}s timeout")
-                    for outcome, _start in in_flight.values():
+                    outcome, slot, _start = entry
+                    free_slots.append(slot)
+                    if completion.status == STATUS_OK:
+                        state["done"] += 1
+                        self._complete(outcome, completion.value,
+                                       completion.elapsed, cache, metrics,
+                                       sink, total, state["done"])
+                    elif completion.status == STATUS_ERROR:
+                        metrics.counter("farm.errors").inc()
+                        retry_or_fail(outcome, FAILURE_ERROR,
+                                      completion.value)
+                    elif completion.status == STATUS_CRASH:
+                        crashed = True
+                        retry_or_fail(outcome, FAILURE_CRASH,
+                                      completion.value
+                                      or "worker process died")
+                    else:  # STATUS_SUSPECT
+                        crashed = True
                         outcome.attempts -= 1
-                        queue.append(outcome)
-                    in_flight.clear()
-                    rebuild = True
-            finally:
-                self._teardown_pool(pool)
-        return []
+                        suspects.append(outcome)
+                free_slots.sort()
+                if crashed:
+                    metrics.counter("farm.crashes").inc()
+
+                if not enforce_timeout or not in_flight:
+                    continue
+                now = time.monotonic()
+                expired = [(tag, entry) for tag, entry in in_flight.items()
+                           if now - entry[2] >= executor.timeout]
+                if not expired:
+                    continue
+                # Kill the expired jobs.  Backends without per-job
+                # timeout-kill (the fork pool) take innocent in-flight
+                # siblings down with them; those come back as collateral
+                # and are requeued with their interrupted attempt
+                # refunded.
+                collateral = backend.cancel([tag for tag, _ in expired])
+                for tag, (outcome, slot, _start) in expired:
+                    in_flight.pop(tag, None)
+                    free_slots.append(slot)
+                    metrics.counter("farm.timeouts").inc()
+                    if outcome.attempts < max_attempts:
+                        # This timed-out job gets another attempt on a
+                        # fresh worker.
+                        metrics.counter("farm.retries").inc()
+                    retry_or_fail(
+                        outcome, FAILURE_TIMEOUT,
+                        f"exceeded {executor.timeout:g}s timeout")
+                for tag in collateral:
+                    entry = in_flight.pop(tag, None)
+                    if entry is None:
+                        continue
+                    outcome, slot, _start = entry
+                    free_slots.append(slot)
+                    outcome.attempts -= 1
+                    planner.requeue(outcome)
+                free_slots.sort()
+        finally:
+            backend.teardown()
+        return sorted(suspects, key=lambda o: o.index)
 
 
 def run_campaign(fn: Callable[[Any, int], Any],
                  specs: Iterable[Tuple[Any, int]],
                  executor: Optional[Executor] = None,
                  name: str = "campaign") -> CampaignResult:
-    """One-shot convenience: run ``fn`` over ``(config, seed)`` pairs."""
-    campaign = Campaign(name, executor=executor)
+    """Deprecated one-shot convenience: use ``Campaign.build(name,
+    ...)`` + ``extend`` + ``run``."""
+    warnings.warn(
+        "run_campaign() is deprecated; use Campaign.build(name, "
+        "executor=..., jobs=..., cache=...) and campaign.extend(fn, "
+        "specs).run() instead", ReproDeprecationWarning, stacklevel=2)
+    campaign = Campaign.build(name, executor=executor)
     campaign.extend(fn, specs)
     return campaign.run()
 
 
-__all__ = ["Campaign", "CampaignResult", "Executor", "run_campaign"]
+__all__ = ["Campaign", "CampaignResult", "Executor", "resolve_executor",
+           "run_campaign"]

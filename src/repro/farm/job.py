@@ -11,7 +11,9 @@ Everything here is about making that contract *mechanically checkable*:
 
 - :func:`canonical_json` -- the one serialization used for cache keys
   and aggregates (sorted keys, tight separators, no NaN), so equal
-  values always produce equal bytes;
+  values always produce equal bytes; it now lives in
+  :mod:`repro.core.serde` (shared with backend wire frames) and is
+  re-exported here for compatibility;
 - :func:`func_ref` / :func:`resolve_ref` -- a function's durable name
   (``module:qualname``), the form workers import it by and the form the
   cache keys hash;
@@ -26,30 +28,11 @@ from __future__ import annotations
 
 import hashlib
 import inspect
-import json
 from dataclasses import dataclass, field
 from importlib import import_module
 from typing import Any, Callable, Dict, Optional
 
-
-def canonical_json(value: Any) -> str:
-    """Serialize ``value`` to the farm's canonical JSON form.
-
-    Equal values always yield equal bytes (sorted keys, no whitespace,
-    ASCII only); non-finite floats are rejected rather than silently
-    emitted as invalid JSON.  This is the byte-identity foundation:
-    cache keys, failure records and campaign aggregates all pass
-    through here.
-    """
-    return json.dumps(value, sort_keys=True, separators=(",", ":"),
-                      allow_nan=False, ensure_ascii=True)
-
-
-def json_roundtrip(value: Any) -> Any:
-    """Normalize a result to pure JSON types (tuples become lists, dict
-    keys become strings), so a freshly computed result and its
-    cache-rehydrated twin are indistinguishable."""
-    return json.loads(canonical_json(value))
+from repro.core.serde import canonical_json, json_roundtrip
 
 
 def func_ref(fn: Callable[..., Any]) -> str:

@@ -15,7 +15,8 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Iterable, List, Optional, Union
 
-from repro.farm.engine import Campaign, CampaignResult, Executor
+from repro.farm.engine import Campaign, CampaignResult, Executor, \
+    resolve_executor
 from repro.faults.plan import FaultPlan
 
 PlanLike = Union[FaultPlan, Dict[str, Any]]
@@ -35,7 +36,8 @@ def run_fault_campaign(scenario: Callable[[Dict[str, Any], int], Any],
                        plans: Iterable[PlanLike],
                        base_config: Optional[Dict[str, Any]] = None,
                        executor: Optional[Executor] = None,
-                       name: str = "fault-campaign") -> CampaignResult:
+                       name: str = "fault-campaign",
+                       **farm: Any) -> CampaignResult:
     """Run ``scenario(config, seed)`` once per fault plan, on the farm.
 
     ``scenario`` must be a module-level pure function (farm job
@@ -48,10 +50,13 @@ def run_fault_campaign(scenario: Callable[[Dict[str, Any], int], Any],
             soc.instrument(faults=config["plan"])
             ...run and summarize...
 
+    Execution policy comes from ``executor=`` and/or the uniform farm
+    keywords (``jobs=``, ``backend=``, ``cache=``, ``shards=``, ...).
     Results aggregate in plan order, bit-for-bit identical between
-    ``jobs=1`` and any worker count.
+    ``jobs=1`` and any backend/worker-count combination.
     """
-    campaign = Campaign(name, executor=executor)
+    campaign = Campaign.build(name,
+                              executor=resolve_executor(executor, **farm))
     for plan in plans:
         if isinstance(plan, dict):
             plan = FaultPlan.from_dict(plan)

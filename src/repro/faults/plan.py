@@ -15,6 +15,8 @@ import random
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.core.serde import serde
+
 
 @dataclass(frozen=True)
 class FaultSpec:
@@ -52,6 +54,7 @@ class MessageRule:
     max_extra: float = 0.0  # only meaningful for "delay"
 
 
+@serde("fault-plan")
 class FaultPlan:
     """Builder for a deterministic fault campaign.
 

@@ -170,14 +170,18 @@ def run_fuzz_campaign(count: int, base_seed: int = 0,
                       kinds: tuple = ("firmware", "expr"),
                       knobs: Optional[Dict[str, float]] = None,
                       executor: Optional[Executor] = None,
-                      name: str = "fuzz") -> Dict[str, Any]:
+                      name: str = "fuzz", **farm: Any) -> Dict[str, Any]:
     """Sweep ``count`` seeds through :func:`differential_job` as a farm
-    campaign; kinds alternate across seeds.  Everything in the report
-    except ``stats`` (operational telemetry: worker count, cache hits,
-    wall time) is deterministic -- ``aggregate_sha`` in particular is
-    byte-identical across ``jobs=1``, ``jobs=N`` and warm-cache
-    re-runs."""
-    campaign = Campaign(name, executor=executor)
+    campaign; kinds alternate across seeds.  Execution policy comes
+    from ``executor=`` and/or the uniform farm keywords (``jobs=``,
+    ``backend=``, ``cache=``, ``shards=``, ...).  Everything in the
+    report except ``stats`` (operational telemetry: worker count, cache
+    hits, wall time) is deterministic -- ``aggregate_sha`` in
+    particular is byte-identical across ``jobs=1``, any backend/shard
+    combination and warm-cache re-runs."""
+    from repro.farm.engine import resolve_executor
+    campaign = Campaign.build(name,
+                              executor=resolve_executor(executor, **farm))
     for index in range(count):
         kind = kinds[index % len(kinds)]
         config: Dict[str, Any] = {"kind": kind}

@@ -150,7 +150,8 @@ def explore_architectures(app_factory: Callable[[], CICApplication],
                           candidates: List[ArchInfo],
                           iterations: int = 20,
                           costs: Optional[Dict[str, float]] = None,
-                          executor: Optional[Any] = None) -> ExplorationResult:
+                          executor: Optional[Any] = None,
+                          **farm: Any) -> ExplorationResult:
     """Translate + run the app on every candidate; return the Pareto front
     of (hardware cost, end time).
 
@@ -159,13 +160,17 @@ def explore_architectures(app_factory: Callable[[], CICApplication],
     whose constraints cannot be satisfied are recorded as infeasible, not
     errors -- an explorer must survive bad corners of the space.
 
-    With a :class:`repro.farm.Executor`, candidates are evaluated as a
-    farm campaign (parallel workers, result cache) instead of the serial
-    in-process loop; ``app_factory`` must then be a module-level
-    function, and the result is identical to the serial path point for
-    point.  Exploration is a batch of independent platform evaluations
-    (the ANDROMEDA/MPPSoCGen framing), so the sweep shards cleanly.
+    With a :class:`repro.farm.Executor` -- or any of the uniform farm
+    keywords (``jobs=``, ``backend=``, ``cache=``, ``shards=``, ...) --
+    candidates are evaluated as a farm campaign (parallel workers,
+    result cache) instead of the serial in-process loop; ``app_factory``
+    must then be a module-level function, and the result is identical to
+    the serial path point for point.  Exploration is a batch of
+    independent platform evaluations (the ANDROMEDA/MPPSoCGen framing),
+    so the sweep shards cleanly.
     """
+    from repro.farm.engine import resolve_executor
+    executor = resolve_executor(executor, **farm)
     if executor is not None:
         return _explore_on_farm(app_factory, candidates, iterations,
                                 costs, executor)
@@ -193,7 +198,7 @@ def _explore_on_farm(app_factory: Callable[[], CICApplication],
     from repro.farm.engine import Campaign
     from repro.farm.job import func_ref
     factory_ref = func_ref(app_factory)
-    campaign = Campaign("explore", executor=executor)
+    campaign = Campaign.build("explore", executor=executor)
     for arch in candidates:
         config = {"app_factory": factory_ref,
                   "arch_xml": to_arch_xml(arch),
@@ -220,8 +225,8 @@ def explore_random_architectures(app_factory: Callable[[], CICApplication],
                                  seed: int, count: int = 16,
                                  iterations: int = 20,
                                  costs: Optional[Dict[str, float]] = None,
-                                 executor: Optional[Any] = None
-                                 ) -> ExplorationResult:
+                                 executor: Optional[Any] = None,
+                                 **farm: Any) -> ExplorationResult:
     """Explore a *generated* candidate space instead of the hand-written
     smp/cell ladders.
 
@@ -237,7 +242,7 @@ def explore_random_architectures(app_factory: Callable[[], CICApplication],
         random.Random(f"{seed}:arch"), count=count)
     return explore_architectures(app_factory, candidates,
                                  iterations=iterations, costs=costs,
-                                 executor=executor)
+                                 executor=executor, **farm)
 
 
 def _pareto_front(points: List[CandidatePoint]) -> List[CandidatePoint]:

@@ -176,24 +176,27 @@ def map_task_graph_annealing_restarts(
         graph: TaskGraph, platform: PlatformSpec, restarts: int = 4,
         iterations: int = 2000, start_temperature: Optional[float] = None,
         cooling: float = 0.995, base_seed: int = 0,
-        executor: Optional[object] = None) -> RestartReport:
+        executor: Optional[object] = None, **farm: object) -> RestartReport:
     """Best-of-N annealing: independent restarts from seeds
     ``base_seed .. base_seed+restarts-1``.
 
     Restarts are independent pure functions of (config, seed), so they
-    run as a farm campaign; with an :class:`repro.farm.Executor` they
-    shard across workers (and hit its result cache), with ``None`` they
-    run in-process -- both paths produce the identical report.  The
-    winner is the lowest makespan, ties broken by lowest seed.
+    run as a farm campaign; with an :class:`repro.farm.Executor` -- or
+    the uniform farm keywords (``jobs=``, ``backend=``, ``cache=``,
+    ...) -- they shard across workers (and hit the result cache), with
+    neither they run in-process; all paths produce the identical
+    report.  The winner is the lowest makespan, ties broken by lowest
+    seed.
     """
-    from repro.farm.engine import Campaign
+    from repro.farm.engine import Campaign, resolve_executor
 
     if restarts < 1:
         raise ValueError(f"restarts must be >= 1, got {restarts}")
     config = {"graph": graph.to_dict(), "platform": platform.to_dict(),
               "iterations": iterations,
               "start_temperature": start_temperature, "cooling": cooling}
-    campaign = Campaign("annealing-restarts", executor=executor)
+    campaign = Campaign.build("annealing-restarts",
+                              executor=resolve_executor(executor, **farm))
     for seed in range(base_seed, base_seed + restarts):
         campaign.add(annealing_restart_job, config=config, seed=seed,
                      name=f"anneal[seed={seed}]")

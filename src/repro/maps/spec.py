@@ -17,6 +17,7 @@ from typing import List, Optional
 
 from repro.cir.nodes import Program
 from repro.cir.analysis.cost import CostWeights
+from repro.core.serde import serde
 
 
 class PEClass(Enum):
@@ -70,6 +71,7 @@ class PESpec:
         return abstract_cost / self.freq
 
 
+@serde("platform-spec")
 @dataclass
 class PlatformSpec:
     """The predefined heterogeneous MPSoC platform MAPS targets."""

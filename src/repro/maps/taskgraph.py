@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.cir.nodes import Stmt
+from repro.core.serde import serde
 from repro.maps.spec import PEClass
 
 
@@ -44,6 +45,7 @@ class TaskEdge:
     label: str = ""
 
 
+@serde("task-graph")
 class TaskGraph:
     """A DAG of tasks."""
 

@@ -47,7 +47,7 @@ import hashlib
 from dataclasses import asdict
 from typing import Any, Dict, List, Optional
 
-from repro.farm.job import canonical_json, json_roundtrip
+from repro.core.serde import canonical_json, json_roundtrip, serde
 
 SNAP_VERSION = "repro.snap/1"
 
@@ -487,6 +487,7 @@ def restore(snapshot: "Snapshot", soc: Any,
 # the snapshot object
 # ----------------------------------------------------------------------
 
+@serde("snapshot")
 class Snapshot:
     """One captured platform image (JSON-pure payload + content digest).
 

@@ -16,10 +16,17 @@ import pytest
 from repro.farm import (
     FAILURE_CRASH, FAILURE_ERROR, FAILURE_TIMEOUT, Campaign, Executor,
     Job, ResultCache, canonical_json, func_ref, job_key, json_roundtrip,
-    resolve_ref, run_campaign, source_salt,
+    resolve_ref, source_salt,
 )
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import TraceSink
+
+
+def sweep(fn, specs, executor=None, name="campaign"):
+    """Run one campaign over ``(config, seed)`` specs via the build API."""
+    campaign = Campaign.build(name, executor=executor)
+    campaign.extend(fn, specs)
+    return campaign.run()
 
 
 # ---------------------------------------------------------------------------
@@ -158,19 +165,17 @@ class TestResultCache:
 
 class TestCampaignInline:
     def test_ordered_results(self):
-        result = run_campaign(job_square,
-                              [({"x": x}, 0) for x in range(5)])
+        result = sweep(job_square, [({"x": x}, 0) for x in range(5)])
         assert result.ok
         assert result.results == [{"value": x * x} for x in range(5)]
         assert result.executed == 5 and result.cached == 0
 
     def test_results_are_json_normalized(self):
-        result = run_campaign(job_tuple, [({"x": 1}, 0)])
+        result = sweep(job_tuple, [({"x": 1}, 0)])
         assert result.results == [{"pair": [1, 0], "keys": {"1": "one"}}]
 
     def test_failure_occupies_its_slot(self):
-        result = run_campaign(job_fail_odd,
-                              [(None, seed) for seed in range(4)])
+        result = sweep(job_fail_odd, [(None, seed) for seed in range(4)])
         assert not result.ok
         assert result.results == [{"seed": 0}, None, {"seed": 2}, None]
         kinds = {f.seed: f.kind for f in result.failures}
@@ -180,7 +185,7 @@ class TestCampaignInline:
             result.raise_on_failure()
 
     def test_unserializable_result_fails_loudly(self):
-        result = run_campaign(job_unserializable, [(None, 0)])
+        result = sweep(job_unserializable, [(None, 0)])
         [failure] = result.failures
         assert failure.kind == FAILURE_ERROR
         assert "TypeError" in failure.message
@@ -188,23 +193,23 @@ class TestCampaignInline:
     def test_inline_accepts_closures(self):
         def local(config, seed):
             return {"v": seed}
-        result = run_campaign(local, [(None, 3)])
+        result = sweep(local, [(None, 3)])
         assert result.results == [{"v": 3}]
 
     def test_cache_warm_rerun_executes_zero_jobs(self, tmp_path):
         executor = Executor(jobs=1, cache_dir=str(tmp_path))
         specs = [({"x": x}, 0) for x in range(4)]
-        cold = run_campaign(job_square, specs, executor=executor)
-        warm = run_campaign(job_square, specs, executor=executor)
+        cold = sweep(job_square, specs, executor=executor)
+        warm = sweep(job_square, specs, executor=executor)
         assert cold.executed == 4 and cold.cached == 0
         assert warm.executed == 0 and warm.cached == 4
         assert warm.aggregate_json() == cold.aggregate_json()
 
     def test_executor_salt_invalidates_cache(self, tmp_path):
         specs = [({"x": 2}, 0)]
-        run_campaign(job_square, specs,
-                     executor=Executor(cache_dir=str(tmp_path)))
-        salted = run_campaign(
+        sweep(job_square, specs,
+              executor=Executor(cache_dir=str(tmp_path)))
+        salted = sweep(
             job_square, specs,
             executor=Executor(cache_dir=str(tmp_path), salt="v2"))
         assert salted.executed == 1  # different salt, no hit
@@ -213,8 +218,8 @@ class TestCampaignInline:
         metrics = MetricsRegistry()
         sink = TraceSink()
         executor = Executor(metrics=metrics, sink=sink)
-        run_campaign(job_fail_odd, [(None, 0), (None, 1)],
-                     executor=executor, name="telemetry")
+        sweep(job_fail_odd, [(None, 0), (None, 1)],
+              executor=executor, name="telemetry")
         assert metrics.counter("farm.jobs.submitted").value == 2
         assert metrics.counter("farm.jobs.executed").value == 1
         assert metrics.counter("farm.jobs.failed").value == 1
@@ -233,7 +238,7 @@ class TestCampaignInline:
             Executor(timeout=0)
 
     def test_stats_shape(self):
-        stats = run_campaign(job_square, [({"x": 1}, 0)]).stats()
+        stats = sweep(job_square, [({"x": 1}, 0)]).stats()
         assert stats["jobs"] == 1 and stats["executed"] == 1
         assert stats["failed"] == 0 and stats["workers"] == 1
         assert stats["wall_seconds"] >= 0
@@ -246,20 +251,17 @@ class TestCampaignInline:
 class TestCampaignPool:
     def test_parallel_aggregate_is_byte_identical_to_serial(self):
         specs = [({"x": x}, x) for x in range(8)]
-        serial = run_campaign(job_square, specs)
-        parallel = run_campaign(job_square, specs,
-                                executor=Executor(jobs=3))
+        serial = sweep(job_square, specs)
+        parallel = sweep(job_square, specs, executor=Executor(jobs=3))
         assert parallel.aggregate_json() == serial.aggregate_json()
         assert parallel.workers == 3
 
     def test_pool_shares_the_cache(self, tmp_path):
         specs = [({"x": x}, 0) for x in range(4)]
-        cold = run_campaign(job_square, specs,
-                            executor=Executor(jobs=2,
-                                              cache_dir=str(tmp_path)))
-        warm = run_campaign(job_square, specs,
-                            executor=Executor(jobs=2,
-                                              cache_dir=str(tmp_path)))
+        cold = sweep(job_square, specs,
+                     executor=Executor(jobs=2, cache_dir=str(tmp_path)))
+        warm = sweep(job_square, specs,
+                     executor=Executor(jobs=2, cache_dir=str(tmp_path)))
         assert cold.executed == 4
         assert warm.executed == 0 and warm.cached == 4
         assert warm.aggregate_json() == cold.aggregate_json()
@@ -273,7 +275,7 @@ class TestCampaignPool:
 
     def test_worker_error_retries_then_records_failure(self):
         metrics = MetricsRegistry()
-        result = run_campaign(
+        result = sweep(
             job_fail_odd, [(None, 0), (None, 1)],
             executor=Executor(jobs=2, retries=1, metrics=metrics))
         assert result.results[0] == {"seed": 0}
@@ -307,7 +309,7 @@ class TestCampaignPool:
 
     def test_timeout_records_structured_failure(self):
         metrics = MetricsRegistry()
-        result = run_campaign(
+        result = sweep(
             job_sleep, [({"seconds": 30.0}, 0), ({"seconds": 0.0}, 1)],
             executor=Executor(jobs=2, timeout=1.0, retries=0,
                               metrics=metrics))

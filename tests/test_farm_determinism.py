@@ -9,7 +9,7 @@ still reproducing the same bytes.
 
 import pytest
 
-from repro.farm import Executor, run_campaign
+from repro.farm import Executor
 from repro.faults import FaultPlan, run_fault_campaign
 from repro.hopes import (
     CICApplication, CICTask, cell_candidates, explore_architectures,

@@ -13,9 +13,16 @@ import time
 import pytest
 
 from repro.farm import (
-    FAILURE_TIMEOUT, Campaign, Executor, ResultCache, run_campaign,
+    FAILURE_TIMEOUT, Campaign, Executor, ResultCache,
 )
 from repro.obs.metrics import MetricsRegistry
+
+
+def sweep(fn, specs, executor=None, name="campaign"):
+    """Run one campaign over ``(config, seed)`` specs via the build API."""
+    campaign = Campaign.build(name, executor=executor)
+    campaign.extend(fn, specs)
+    return campaign.run()
 
 
 # ---------------------------------------------------------------------------
@@ -50,7 +57,7 @@ def _specs(n=6):
 class TestManifest:
     def test_run_persists_manifest_before_dispatch(self, tmp_path):
         executor = Executor(cache_dir=str(tmp_path), salt="v3")
-        run_campaign(job_add, _specs(3), executor=executor, name="sweep")
+        sweep(job_add, _specs(3), executor=executor, name="sweep")
         cache = ResultCache(str(tmp_path))
         manifest = cache.load_manifest("sweep")
         assert manifest["name"] == "sweep"
@@ -66,15 +73,15 @@ class TestManifest:
 
     def test_manifest_files_do_not_pollute_result_keys(self, tmp_path):
         executor = Executor(cache_dir=str(tmp_path))
-        run_campaign(job_add, _specs(2), executor=executor, name="sweep")
+        sweep(job_add, _specs(2), executor=executor, name="sweep")
         assert len(ResultCache(str(tmp_path))) == 2  # results only
 
-    def test_from_manifest_rebuilds_identical_campaign(self, tmp_path):
+    def test_build_resume_from_rebuilds_identical_campaign(self, tmp_path):
         executor = Executor(cache_dir=str(tmp_path), salt="s1")
         original = Campaign("sweep", executor=executor)
         original.extend(job_add, _specs(4))
         original.run()
-        rebuilt = Campaign.from_manifest(str(tmp_path), "sweep")
+        rebuilt = Campaign.build("sweep", resume_from=str(tmp_path))
         assert rebuilt.manifest() == original.manifest()
         # same salt + jobs -> same keys -> a resume is all cache hits
         result = rebuilt.run()
@@ -100,12 +107,12 @@ class TestResume:
 
         resumed = Campaign.resume(str(tmp_path), "sweep")
         assert resumed.cached == 3 and resumed.executed == 3
-        reference = run_campaign(job_add, _specs(6))
+        reference = sweep(job_add, _specs(6))
         assert resumed.aggregate_json() == reference.aggregate_json()
 
     def test_resume_executor_override_keeps_cache_and_salt(self, tmp_path):
         executor = Executor(cache_dir=str(tmp_path), salt="pinned")
-        run_campaign(job_add, _specs(3), executor=executor, name="sweep")
+        sweep(job_add, _specs(3), executor=executor, name="sweep")
         resumed = Campaign.resume(
             str(tmp_path), "sweep",
             executor=Executor(jobs=1, cache_dir="/nonexistent", salt="x"))
@@ -177,7 +184,7 @@ class TestResume:
 class TestRetryCounter:
     def test_timeout_retry_increments_farm_retries(self):
         metrics = MetricsRegistry()
-        result = run_campaign(
+        result = sweep(
             job_sleep, [({"seconds": 30.0}, 0)],
             executor=Executor(jobs=2, timeout=1.0, retries=1,
                               metrics=metrics))
@@ -190,7 +197,7 @@ class TestRetryCounter:
 
     def test_no_retry_budget_means_no_retry_counter(self):
         metrics = MetricsRegistry()
-        result = run_campaign(
+        result = sweep(
             job_sleep, [({"seconds": 30.0}, 0)],
             executor=Executor(jobs=2, timeout=1.0, retries=0,
                               metrics=metrics))
